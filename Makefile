@@ -1,0 +1,31 @@
+# Convenience targets for the ctcomm reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -check
+
+fuzz:
+	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/model/
+	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 15s ./internal/model/
+	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 15s ./internal/pattern/
+
+clean:
+	$(GO) clean -testcache

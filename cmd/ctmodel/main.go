@@ -1,0 +1,162 @@
+// Command ctmodel evaluates copy-transfer expressions against a rate
+// table, reproducing the paper's model estimates from the command line.
+//
+// Examples:
+//
+//	ctmodel -machine t3d -expr "wC1 o (1S0 || Nd || 0D1) o 1Cw"
+//	ctmodel -machine paragon -rates calibrated -op 1Q64
+//	ctmodel -machine t3d -op wQw -congestion 4
+//	ctmodel -machine t3d -rates paper -list
+//
+// With -op xQy both the buffer-packing and chained estimates of the
+// communication operation are printed; with -expr a single expression
+// is evaluated; -list prints the rate table itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ctcomm/internal/calibrate"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/model"
+	"ctcomm/internal/pattern"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ctmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctmodel", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		machineFlag = fs.String("machine", "t3d", "machine profile: t3d or paragon")
+		machineFile = fs.String("machine-file", "", "JSON machine definition (overrides -machine)")
+		ratesFlag   = fs.String("rates", "paper", "rate table: paper or calibrated")
+		exprFlag    = fs.String("expr", "", "copy-transfer expression to evaluate")
+		opFlag      = fs.String("op", "", "communication operation xQy, e.g. 1Q64 or wQw")
+		congFlag    = fs.Float64("congestion", 0, "network congestion factor (0 = machine default)")
+		listFlag    = fs.Bool("list", false, "print the rate table and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *machine.Machine
+	var err error
+	if *machineFile != "" {
+		m, err = machine.LoadFile(*machineFile)
+	} else {
+		m, err = selectMachine(*machineFlag)
+	}
+	if err != nil {
+		return err
+	}
+	cong := *congFlag
+	if cong < 1 {
+		cong = m.DefaultCongestion
+	}
+
+	var rt *model.RateTable
+	switch *ratesFlag {
+	case "paper":
+		rt = model.PaperTables()[m.Name]
+	case "calibrated":
+		rt = calibrate.RateTableFor(m)
+	default:
+		return fmt.Errorf("unknown -rates %q (want paper or calibrated)", *ratesFlag)
+	}
+
+	switch {
+	case *listFlag:
+		fmt.Fprintf(out, "rate table %s:\n", rt.Name)
+		for _, key := range rt.Keys() {
+			term, err := model.ParseTerm(key)
+			if err != nil {
+				continue
+			}
+			rate, err := rt.Rate(term)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(out, "  %-8s %7.1f MB/s\n", key, rate)
+		}
+		return nil
+
+	case *exprFlag != "":
+		e, err := model.Parse(*exprFlag)
+		if err != nil {
+			return err
+		}
+		rate, err := model.Evaluate(e, rt, cong)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "|%s| = %.1f MB/s  (machine %s, rates %s, congestion %.0f)\n",
+			e, rate, m.Name, *ratesFlag, cong)
+		return nil
+
+	case *opFlag != "":
+		x, y, err := parseOp(*opFlag)
+		if err != nil {
+			return err
+		}
+		caps := model.CapsOf(m)
+		packedE := model.BufferPacking(caps, x, y)
+		packed, err := model.Evaluate(packedE, rt, cong)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "buffer-packing: |%s| = %.1f MB/s\n", packedE, packed)
+		chainedE, err := model.Chained(caps, x, y)
+		if err != nil {
+			fmt.Fprintf(out, "chained:        not implementable: %v\n", err)
+			return nil
+		}
+		chained, err := model.Evaluate(chainedE, rt, cong)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chained:        |%s| = %.1f MB/s  (%.2fx)\n", chainedE, chained, chained/packed)
+		if leaf, rate, err := model.Bottleneck(chainedE, rt, cong); err == nil {
+			fmt.Fprintf(out, "bottleneck:     %s at %.1f MB/s\n", leaf, rate)
+		}
+		return nil
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -expr, -op or -list is required")
+	}
+}
+
+func selectMachine(name string) (*machine.Machine, error) {
+	switch strings.ToLower(name) {
+	case "t3d", "cray", "cray t3d":
+		return machine.T3D(), nil
+	case "paragon", "intel", "intel paragon":
+		return machine.Paragon(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (want t3d or paragon)", name)
+	}
+}
+
+// parseOp splits an xQy operation label such as "1Q64" or "wQw".
+func parseOp(op string) (x, y pattern.Spec, err error) {
+	i := strings.IndexByte(op, 'Q')
+	if i <= 0 || i == len(op)-1 {
+		return x, y, fmt.Errorf("invalid operation %q (want xQy, e.g. 1Q64)", op)
+	}
+	x, err = pattern.ParseSpec(op[:i])
+	if err != nil {
+		return x, y, err
+	}
+	y, err = pattern.ParseSpec(op[i+1:])
+	return x, y, err
+}

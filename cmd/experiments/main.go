@@ -1,0 +1,162 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated machines and checks that the published
+// shapes (orderings, approximate factors) hold.
+//
+// Examples:
+//
+//	experiments                 # run everything at paper scale
+//	experiments -quick          # small workloads, same shapes
+//	experiments -only tab6      # a single experiment
+//	experiments -check          # exit non-zero if any shape check fails
+//	experiments -csv out/       # additionally write each table as CSV
+//	experiments -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ctcomm/internal/exp"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the CLI and returns the process exit code.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		onlyFlag  = fs.String("only", "", "comma-separated experiment ids (default: all)")
+		quickFlag = fs.Bool("quick", false, "use small workloads")
+		checkFlag = fs.Bool("check", false, "exit 1 if any shape check fails")
+		listFlag  = fs.Bool("list", false, "list experiment ids and exit")
+		csvFlag   = fs.String("csv", "", "directory to write each table as CSV")
+		mdFlag    = fs.String("md", "", "file to write a markdown report to")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *listFlag {
+		for _, e := range exp.All() {
+			fmt.Fprintf(out, "%-8s %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		}
+		return 0, nil
+	}
+
+	var selected []exp.Experiment
+	if *onlyFlag == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return 2, err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Quick: *quickFlag}
+	if *csvFlag != "" {
+		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+			return 1, err
+		}
+	}
+	var md *os.File
+	if *mdFlag != "" {
+		f, err := os.Create(*mdFlag)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		md = f
+		fmt.Fprintf(md, "# Reproduction report\n\n")
+	}
+	totalFailures := 0
+	for _, e := range selected {
+		failures, err := e.RunAndRender(out, cfg)
+		if err != nil {
+			return 1, err
+		}
+		totalFailures += len(failures)
+		if *csvFlag != "" {
+			if err := writeCSVs(*csvFlag, e, cfg); err != nil {
+				return 1, err
+			}
+		}
+		if md != nil {
+			if err := writeMarkdown(md, e, cfg, failures); err != nil {
+				return 1, err
+			}
+		}
+	}
+	if totalFailures > 0 {
+		fmt.Fprintf(out, "TOTAL: %d shape-check failure(s)\n", totalFailures)
+		if *checkFlag {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	fmt.Fprintf(out, "TOTAL: all %d experiment(s) passed their shape checks\n", len(selected))
+	return 0, nil
+}
+
+// writeCSVs re-runs the experiment and writes each of its tables as
+// <dir>/<id>-<n>.csv.
+func writeCSVs(dir string, e exp.Experiment, cfg exp.Config) error {
+	tables, _, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", e.ID, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMarkdown appends one experiment's section to the report.
+func writeMarkdown(w *os.File, e exp.Experiment, cfg exp.Config, failures []string) error {
+	tables, _, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## %s — %s (%s)\n\n", e.ID, e.Title, e.PaperRef)
+	for _, t := range tables {
+		if err := t.Markdown(w); err != nil {
+			return err
+		}
+	}
+	if len(failures) == 0 {
+		fmt.Fprintf(w, "shape check: **PASS**\n\n")
+	} else {
+		fmt.Fprintf(w, "shape check: **FAIL**\n\n")
+		for _, f := range failures {
+			fmt.Fprintf(w, "- %s\n", f)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"tab1", "fig7", "tab6", "ext-aapc"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunOneQuick(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-quick", "-only", "tab4", "-check"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "shape check: PASS") {
+		t.Errorf("missing pass marker:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-only", "tab99"}, &out)
+	if err == nil || code != 2 {
+		t.Fatalf("unknown id: code=%d err=%v", code, err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	code, err := run([]string{"-quick", "-only", "tab4", "-csv", dir}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "tab4-*.csv"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("csv files = %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "congestion") {
+		t.Errorf("csv header missing: %s", data)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.md")
+	var out strings.Builder
+	code, err := run([]string{"-quick", "-only", "tab4", "-md", path}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Reproduction report", "## tab4", "| Nd |", "**PASS**"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

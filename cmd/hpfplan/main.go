@@ -1,0 +1,154 @@
+// Command hpfplan plays the role the paper assigns to the parallelizing
+// compiler (§2.1): given an HPF-style array redistribution or a
+// transpose, it derives the communication plan (who sends what to whom,
+// with which access patterns), prices the buffer-packing and chained
+// implementations on a simulated machine, and recommends one — the
+// decision procedure the copy-transfer model was built to support.
+//
+// Examples:
+//
+//	hpfplan -machine t3d -n 65536 -p 64 -src BLOCK -dst CYCLIC
+//	hpfplan -machine t3d -n 65536 -p 64 -src BLOCK -dst "CYCLIC(8)"
+//	hpfplan -machine paragon -transpose 1024 -p 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/distrib"
+	"ctcomm/internal/machine"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpfplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hpfplan", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		machineFlag = fs.String("machine", "t3d", "machine profile: t3d or paragon")
+		nFlag       = fs.Int("n", 65536, "array elements (1D redistribution)")
+		pFlag       = fs.Int("p", 64, "processors")
+		srcFlag     = fs.String("src", "BLOCK", "source distribution: BLOCK, CYCLIC or CYCLIC(b)")
+		dstFlag     = fs.String("dst", "CYCLIC", "destination distribution")
+		transFlag   = fs.Int("transpose", 0, "plan an n x n transpose instead (Figure 9)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *machine.Machine
+	switch strings.ToLower(*machineFlag) {
+	case "t3d":
+		m = machine.T3D()
+	case "paragon":
+		m = machine.Paragon()
+	default:
+		return fmt.Errorf("unknown machine %q", *machineFlag)
+	}
+
+	var plan []distrib.Transfer
+	var what string
+	if *transFlag > 0 {
+		n := *transFlag
+		// §5.2: pick the orientation that suits the machine — strided
+		// stores on the T3D (write queue), strided loads on the Paragon
+		// (prefetch queue).
+		stridedLoads := m.CoProcessor // the Paragon profile marker
+		var err error
+		plan, err = distrib.TransposePlan(n, *pFlag, stridedLoads)
+		if err != nil {
+			return err
+		}
+		orient := "1Qn (contiguous loads, strided stores)"
+		if stridedLoads {
+			orient = "nQ1 (strided loads, contiguous stores)"
+		}
+		what = fmt.Sprintf("transpose of a %dx%d array, orientation %s", n, n, orient)
+	} else {
+		src, err := parseDist(*srcFlag, *nFlag, *pFlag)
+		if err != nil {
+			return fmt.Errorf("-src: %w", err)
+		}
+		dst, err := parseDist(*dstFlag, *nFlag, *pFlag)
+		if err != nil {
+			return fmt.Errorf("-dst: %w", err)
+		}
+		plan, err = distrib.Plan(src, dst)
+		if err != nil {
+			return err
+		}
+		what = fmt.Sprintf("redistribution %s -> %s of %d elements", src, dst, *nFlag)
+	}
+
+	fmt.Fprintf(out, "machine: %s\n", m)
+	fmt.Fprintf(out, "operation: %s\n", what)
+	if len(plan) == 0 {
+		fmt.Fprintln(out, "no communication required: the layouts agree")
+		return nil
+	}
+
+	// Summarize the plan.
+	patterns := map[string]int{}
+	words := 0
+	for _, t := range plan {
+		patterns[t.Src.String()+"Q"+t.Dst.String()]++
+		words += t.Words()
+	}
+	fmt.Fprintf(out, "plan: %d transfers, %d words total, patterns %v\n",
+		len(plan), words, patterns)
+
+	// Price both styles.
+	packed, err := distrib.Execute(m, plan, distrib.ExecuteOptions{Style: comm.BufferPacking})
+	if err != nil {
+		return err
+	}
+	chained, chainedErr := distrib.Execute(m, plan, distrib.ExecuteOptions{Style: comm.Chained})
+
+	fmt.Fprintf(out, "buffer-packing: %6.1f MB/s per node  (%.1f us)\n",
+		packed.MBps(), packed.ElapsedNs/1e3)
+	if chainedErr != nil {
+		fmt.Fprintf(out, "chained:        not implementable: %v\n", chainedErr)
+		fmt.Fprintln(out, "recommendation: buffer-packing (no capable deposit engine)")
+		return nil
+	}
+	fmt.Fprintf(out, "chained:        %6.1f MB/s per node  (%.1f us)\n",
+		chained.MBps(), chained.ElapsedNs/1e3)
+	if chained.MBps() > packed.MBps() {
+		fmt.Fprintf(out, "recommendation: chained transfers (%.2fx faster)\n",
+			chained.MBps()/packed.MBps())
+	} else {
+		fmt.Fprintf(out, "recommendation: buffer-packing (%.2fx faster)\n",
+			packed.MBps()/chained.MBps())
+	}
+	return nil
+}
+
+// parseDist reads "BLOCK", "CYCLIC" or "CYCLIC(b)" (case-insensitive).
+func parseDist(text string, n, p int) (distrib.Distribution, error) {
+	t := strings.ToUpper(strings.TrimSpace(text))
+	switch {
+	case t == "BLOCK":
+		return distrib.NewBlock(n, p)
+	case t == "CYCLIC":
+		return distrib.NewCyclic(n, p)
+	case strings.HasPrefix(t, "CYCLIC(") && strings.HasSuffix(t, ")"):
+		b, err := strconv.Atoi(t[len("CYCLIC(") : len(t)-1])
+		if err != nil {
+			return distrib.Distribution{}, fmt.Errorf("invalid block size in %q", text)
+		}
+		return distrib.NewBlockCyclic(n, p, b)
+	default:
+		return distrib.Distribution{}, fmt.Errorf("unknown distribution %q (want BLOCK, CYCLIC or CYCLIC(b))", text)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ctcomm/internal/distrib"
+)
+
+func TestRunRedistribution(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-machine", "t3d", "-n", "4096", "-p", "16",
+		"-src", "BLOCK", "-dst", "CYCLIC"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"16Q1", "buffer-packing", "chained", "recommendation: chained"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBlockCyclic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "4096", "-p", "16", "-src", "BLOCK", "-dst", "CYCLIC(8)"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recommendation") {
+		t.Errorf("missing recommendation:\n%s", out.String())
+	}
+}
+
+func TestRunTransposeOrientationPerMachine(t *testing.T) {
+	var t3d strings.Builder
+	if err := run([]string{"-machine", "t3d", "-transpose", "256", "-p", "16"}, &t3d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3d.String(), "strided stores") {
+		t.Errorf("T3D should pick the strided-store orientation:\n%s", t3d.String())
+	}
+	var par strings.Builder
+	if err := run([]string{"-machine", "paragon", "-transpose", "256", "-p", "16"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(par.String(), "strided loads") {
+		t.Errorf("Paragon should pick the strided-load orientation:\n%s", par.String())
+	}
+}
+
+func TestRunNoCommunication(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "1024", "-p", "8", "-src", "BLOCK", "-dst", "BLOCK"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no communication required") {
+		t.Errorf("identity remap should need no communication:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-machine", "cm5"},
+		{"-src", "SCATTERED"},
+		{"-dst", "CYCLIC(x)"},
+		{"-transpose", "100", "-p", "64"}, // 64 does not divide 100
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	d, err := parseDist("cyclic(4)", 64, 4)
+	if err != nil || d.Kind != distrib.BlockCyclicKind || d.Block != 4 {
+		t.Fatalf("parseDist = %v, %v", d, err)
+	}
+	b, err := parseDist(" block ", 64, 4)
+	if err != nil || b.Kind != distrib.BlockKind {
+		t.Fatalf("parseDist block = %v, %v", b, err)
+	}
+}

@@ -1,0 +1,125 @@
+// Command mppsim simulates one communication operation end-to-end on a
+// simulated parallel machine and reports its throughput and pipeline
+// stages — the "measured" counterpart of ctmodel.
+//
+// Examples:
+//
+//	mppsim -machine t3d -style chained -x 1 -y 64
+//	mppsim -machine paragon -style buffer-packing -x w -y w -words 65536
+//	mppsim -machine t3d -style pvm -x 1 -y 1 -words 512
+//	mppsim -machine t3d -style chained -x 64 -y 1 -get
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mppsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		machineFlag = fs.String("machine", "t3d", "machine profile: t3d or paragon")
+		machineFile = fs.String("machine-file", "", "JSON machine definition (overrides -machine)")
+		styleFlag   = fs.String("style", "chained", "buffer-packing, chained, direct or pvm")
+		xFlag       = fs.String("x", "1", "source (read) pattern: 1, <stride>, <stride>x<block>, or w")
+		yFlag       = fs.String("y", "1", "destination (write) pattern")
+		wordsFlag   = fs.Int("words", 1<<17, "payload words (64-bit)")
+		congFlag    = fs.Float64("congestion", 0, "network congestion (0 = machine default)")
+		duplexFlag  = fs.Bool("duplex", false, "every node sends and receives simultaneously")
+		getFlag     = fs.Bool("get", false, "simulate the pull (remote load) variant")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *machine.Machine
+	if *machineFile != "" {
+		loaded, err := machine.LoadFile(*machineFile)
+		if err != nil {
+			return err
+		}
+		m = loaded
+	} else {
+		switch strings.ToLower(*machineFlag) {
+		case "t3d":
+			m = machine.T3D()
+		case "paragon":
+			m = machine.Paragon()
+		default:
+			return fmt.Errorf("unknown machine %q", *machineFlag)
+		}
+	}
+
+	var style comm.Style
+	switch strings.ToLower(*styleFlag) {
+	case "buffer-packing", "packed", "bp":
+		style = comm.BufferPacking
+	case "chained":
+		style = comm.Chained
+	case "direct":
+		style = comm.Direct
+	case "pvm":
+		style = comm.PVM
+	default:
+		return fmt.Errorf("unknown style %q", *styleFlag)
+	}
+
+	x, err := pattern.ParseSpec(*xFlag)
+	if err != nil {
+		return err
+	}
+	y, err := pattern.ParseSpec(*yFlag)
+	if err != nil {
+		return err
+	}
+
+	opts := comm.Options{
+		Words:      *wordsFlag,
+		Congestion: *congFlag,
+		Duplex:     *duplexFlag,
+	}
+	var res comm.Result
+	if *getFlag {
+		res, err = comm.RunGet(m, style, x, y, comm.GetOptions{Options: opts})
+	} else {
+		res, err = comm.Run(m, style, x, y, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	direction := "put"
+	if *getFlag {
+		direction = "get"
+	}
+	fmt.Fprintf(out, "machine:    %s\n", m)
+	fmt.Fprintf(out, "operation:  %sQ%s (%s, %s), %d words (%d bytes)\n",
+		x, y, style, direction, *wordsFlag, res.PayloadBytes)
+	fmt.Fprintf(out, "congestion: %.1f   duplex: %v\n", res.Congestion, *duplexFlag)
+	fmt.Fprintf(out, "elapsed:    %.1f us (simulated)\n", res.ElapsedNs/1e3)
+	fmt.Fprintf(out, "throughput: %.1f MB/s per node\n", res.MBps())
+	fmt.Fprintln(out, "stages:")
+	for _, st := range res.Stages {
+		mode := "overlapped"
+		if st.Serial {
+			mode = "serial"
+		}
+		fmt.Fprintf(out, "  %-10s on %-8s %8.1f MB/s  (%s)\n", st.Name, st.Resource, st.Rate, mode)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunChained(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-machine", "t3d", "-style", "chained", "-x", "1", "-y", "64",
+		"-words", "8192"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"1Q64", "chained", "MB/s per node", "Nadp", "0D64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunGetFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-machine", "t3d", "-style", "chained", "-x", "64", "-y", "1",
+		"-words", "4096", "-get"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "get") {
+		t.Errorf("get run not labeled: %s", out.String())
+	}
+}
+
+func TestRunStyleAliases(t *testing.T) {
+	for _, style := range []string{"buffer-packing", "packed", "bp", "direct", "pvm"} {
+		var out strings.Builder
+		if err := run([]string{"-style", style, "-words", "1024"}, &out); err != nil {
+			t.Errorf("style %q: %v", style, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-machine", "cm5"},
+		{"-style", "smoke-signals"},
+		{"-x", "bogus"},
+		{"-y", "-3"},
+		{"-machine", "paragon", "-style", "chained", "-x", "1", "-y", "64", "-words", "0"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

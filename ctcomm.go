@@ -1,0 +1,131 @@
+// Package ctcomm is a reproduction of the copy-transfer model of
+// communication performance in parallel computers (T. Stricker and
+// T. Gross, "Optimizing Memory System Performance for Communication in
+// Parallel Computers", ISCA 1995).
+//
+// The package bundles three layers behind one import:
+//
+//   - Simulated machines: parameterized node memory systems (cache,
+//     DRAM page mode, read-ahead, write queue, prefetch queue) and
+//     interconnects (torus/mesh, framing, congestion) with profiles for
+//     the Cray T3D and the Intel Paragon.
+//   - The copy-transfer model itself: an algebra of basic transfers
+//     (xCy, xS0, xF0, 0Ry, 0Dy, Nd, Nadp) composed sequentially (∘,
+//     harmonic rate sum) or in parallel (‖, minimum rate), evaluated
+//     against measured rate tables.
+//   - Communication operations and application kernels: buffer-packing
+//     vs. chained implementations of the compiler operation xQy, plus
+//     the paper's 2D-FFT transpose, FEM and SOR kernels.
+//
+// Quick start:
+//
+//	m := ctcomm.T3D()
+//	rt := ctcomm.Calibrate(m)                       // measure basic transfers
+//	expr, _ := ctcomm.ChainedExpr(m, ctcomm.Contig(), ctcomm.Strided(64))
+//	est, _ := ctcomm.Estimate(expr, rt, m.DefaultCongestion)
+//	res, _ := ctcomm.Run(m, ctcomm.Chained, ctcomm.Contig(), ctcomm.Strided(64),
+//		ctcomm.Options{Words: 1 << 17})
+//	fmt.Printf("model %.1f MB/s, simulated %.1f MB/s\n", est, res.MBps())
+package ctcomm
+
+import (
+	"ctcomm/internal/calibrate"
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/model"
+	"ctcomm/internal/pattern"
+)
+
+// Machine is a complete node-architecture profile plus interconnect.
+type Machine = machine.Machine
+
+// T3D returns the Cray T3D profile (64-node torus partition).
+func T3D() *Machine { return machine.T3D() }
+
+// Paragon returns the Intel Paragon profile (64-node mesh).
+func Paragon() *Machine { return machine.Paragon() }
+
+// Machines returns the built-in profiles in paper order.
+func Machines() []*Machine { return machine.Profiles() }
+
+// MachineByName returns a built-in profile by its name, or nil.
+func MachineByName(name string) *Machine { return machine.ByName(name) }
+
+// Pattern is a symbolic memory access pattern: 0 (port), 1 (contiguous),
+// n (strided) or ω (indexed).
+type Pattern = pattern.Spec
+
+// Contig returns the contiguous pattern "1".
+func Contig() Pattern { return pattern.Contig() }
+
+// Strided returns the constant-stride pattern "s" (stride in 64-bit words).
+func Strided(s int) Pattern { return pattern.Strided(s) }
+
+// Indexed returns the index-array pattern "ω".
+func Indexed() Pattern { return pattern.Indexed() }
+
+// ParsePattern parses "1", "64", "w"/"ω", or "0".
+func ParsePattern(s string) (Pattern, error) { return pattern.ParseSpec(s) }
+
+// Expr is a copy-transfer expression over basic transfers.
+type Expr = model.Expr
+
+// RateTable holds measured basic-transfer rates that parameterize the
+// model.
+type RateTable = model.RateTable
+
+// ParseExpr parses the paper's notation, e.g.
+// "wC1 o (1S0 || Nd || 0D1) o 1Cw".
+func ParseExpr(text string) (Expr, error) { return model.Parse(text) }
+
+// Estimate evaluates |expr| in MB/s against a rate table at a network
+// congestion factor, using the model's composition rules.
+func Estimate(expr Expr, rt *RateTable, congestion float64) (float64, error) {
+	return model.Evaluate(expr, rt, congestion)
+}
+
+// PaperRates returns the paper's published rate table for a built-in
+// machine ("Cray T3D" or "Intel Paragon"), or nil.
+func PaperRates(machineName string) *RateTable { return model.PaperTables()[machineName] }
+
+// Calibrate measures every basic transfer on the simulated machine and
+// returns the resulting rate table (the simulator-side analogue of the
+// paper's Tables 1-4).
+func Calibrate(m *Machine) *RateTable { return calibrate.RateTableFor(m) }
+
+// BufferPackingExpr composes the buffer-packing implementation of xQy
+// for the machine: gather copy, block transfer, scatter copy.
+func BufferPackingExpr(m *Machine, x, y Pattern) Expr {
+	return model.BufferPacking(model.CapsOf(m), x, y)
+}
+
+// ChainedExpr composes the chained implementation xQ'y for the machine;
+// it fails when no engine can deposit the destination pattern in the
+// background.
+func ChainedExpr(m *Machine, x, y Pattern) (Expr, error) {
+	return model.Chained(model.CapsOf(m), x, y)
+}
+
+// Style selects a communication-operation implementation.
+type Style = comm.Style
+
+// Styles of communication operations (see internal/comm).
+const (
+	BufferPacking = comm.BufferPacking
+	Chained       = comm.Chained
+	Direct        = comm.Direct
+	PVM           = comm.PVM
+)
+
+// Options controls a simulated communication operation.
+type Options = comm.Options
+
+// Result reports a simulated communication operation.
+type Result = comm.Result
+
+// Run simulates one communication operation xQy end-to-end on the
+// machine and returns its timing — the "measured" side of the paper's
+// comparisons.
+func Run(m *Machine, style Style, x, y Pattern, opt Options) (Result, error) {
+	return comm.Run(m, style, x, y, opt)
+}

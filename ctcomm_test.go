@@ -1,0 +1,74 @@
+package ctcomm_test
+
+import (
+	"testing"
+
+	"ctcomm"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	m := ctcomm.T3D()
+	rt := ctcomm.Calibrate(m)
+	expr, err := ctcomm.ChainedExpr(m, ctcomm.Contig(), ctcomm.Strided(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ctcomm.Estimate(expr, rt, m.DefaultCongestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctcomm.Run(m, ctcomm.Chained, ctcomm.Contig(), ctcomm.Strided(64),
+		ctcomm.Options{Words: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 || res.MBps() <= 0 {
+		t.Fatalf("est %.1f, sim %.1f", est, res.MBps())
+	}
+	// Model and simulation agree for the chained operation.
+	if ratio := res.MBps() / est; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("model %.1f vs simulated %.1f diverge", est, res.MBps())
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	ms := ctcomm.Machines()
+	if len(ms) != 2 {
+		t.Fatalf("expected 2 machines, got %d", len(ms))
+	}
+	if ctcomm.MachineByName("Cray T3D") == nil {
+		t.Error("T3D not found by name")
+	}
+	if ctcomm.PaperRates("Cray T3D") == nil {
+		t.Error("paper rates missing")
+	}
+	if ctcomm.PaperRates("nope") != nil {
+		t.Error("unknown machine should have no paper rates")
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	p, err := ctcomm.ParsePattern("64")
+	if err != nil || p != ctcomm.Strided(64) {
+		t.Fatalf("ParsePattern: %v %v", p, err)
+	}
+	e, err := ctcomm.ParseExpr("1C1 o (1S0 || Nd || 0D1) o 1C64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ctcomm.Estimate(e, ctcomm.PaperRates("Cray T3D"), 2)
+	if err != nil || est <= 0 {
+		t.Fatalf("Estimate: %v %v", est, err)
+	}
+}
+
+func TestFacadeBufferPackingExpr(t *testing.T) {
+	m := ctcomm.Paragon()
+	e := ctcomm.BufferPackingExpr(m, ctcomm.Indexed(), ctcomm.Indexed())
+	if e.String() == "" {
+		t.Error("empty expression")
+	}
+	if _, err := ctcomm.ChainedExpr(m, ctcomm.Indexed(), ctcomm.Indexed()); err != nil {
+		t.Errorf("Paragon chains via co-processor: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package ctcomm_test
+
+import (
+	"fmt"
+
+	"ctcomm"
+)
+
+// Estimate a communication operation with the paper's published rate
+// table — the §3.4.1 worked example.
+func ExampleEstimate() {
+	m := ctcomm.T3D()
+	rates := ctcomm.PaperRates(m.Name)
+	expr, _ := ctcomm.ParseExpr("1C1 o (1S0 || Nd || 0D1) o 1C1024")
+	est, _ := ctcomm.Estimate(expr, rates, m.DefaultCongestion)
+	fmt.Printf("|%s| = %.1f MB/s\n", expr, est)
+	// Output:
+	// |1C1 o (1S0 || Nd || 0D1) o 1C1024| = 25.0 MB/s
+}
+
+// Compare the two implementations of the strided operation on the T3D,
+// using the paper's rates: the chained transfer wins.
+func ExampleChainedExpr() {
+	m := ctcomm.T3D()
+	rates := ctcomm.PaperRates(m.Name)
+	x, y := ctcomm.Contig(), ctcomm.Strided(64)
+	packed, _ := ctcomm.Estimate(ctcomm.BufferPackingExpr(m, x, y), rates, 2)
+	chained, _ := ctcomm.ChainedExpr(m, x, y)
+	chainedEst, _ := ctcomm.Estimate(chained, rates, 2)
+	fmt.Printf("packed %.1f MB/s, chained %.1f MB/s\n", packed, chainedEst)
+	// Output:
+	// packed 25.0 MB/s, chained 38.0 MB/s
+}
+
+// Plan an HPF redistribution and inspect the access patterns the
+// compiler would have to communicate with.
+func ExamplePlanRedistribution() {
+	src, _ := ctcomm.BlockDist(64, 4)
+	dst, _ := ctcomm.CyclicDist(64, 4)
+	plan, _ := ctcomm.PlanRedistribution(src, dst)
+	t := plan[0]
+	fmt.Printf("%d transfers; first moves %d words as %sQ%s\n",
+		len(plan), t.Words(), t.Src, t.Dst)
+	// Output:
+	// 12 transfers; first moves 4 words as 4Q1
+}
+
+// Classify the memory access pattern of an offset sequence, as the
+// redistribution planner does.
+func ExampleClassifyOffsets() {
+	p, _ := ctcomm.ClassifyOffsets([]int64{0, 1, 64, 65, 128, 129})
+	fmt.Println(p)
+	// Output:
+	// 64x2
+}
+
+// Analyze a strided access trace: communication streams have no
+// temporal locality (paper §3.1).
+func ExampleAnalyzeTrace() {
+	tr := ctcomm.RecordTrace(ctcomm.Strided(64), 0, 1024, false)
+	stats, _ := ctcomm.AnalyzeTrace(tr, 32, 2048)
+	fmt.Printf("dominant stride %d, temporal reuse %.0f%%\n",
+		stats.DominantStride, stats.TemporalReuse*100)
+	// Output:
+	// dominant stride 64, temporal reuse 0%
+}
+
+// Verify that a scheduled complete exchange meets the T3D's structural
+// congestion floor of two (§4.3).
+func ExampleAAPCXOR() {
+	m := ctcomm.T3D()
+	sched, _ := ctcomm.AAPCXOR(m.Nodes())
+	fmt.Printf("max phase congestion: %.0f\n",
+		sched.MaxCongestion(m.Topo, m.Net.NodesPerPort))
+	// Output:
+	// max phase congestion: 2
+}

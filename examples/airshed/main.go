@@ -1,0 +1,58 @@
+// Airshed reproduces the grand-challenge workload paper §6.1.1 cites:
+// an air-pollution model whose chemistry phase (all species of a cell
+// together) and transport phase (all cells of a species together)
+// bracket a generic-transpose redistribution of a 3500 x 175
+// concentration array. The program runs real conservative chemistry and
+// transport steps and prices the corner turn with both communication
+// styles.
+//
+//	go run ./examples/airshed [-cells 3500 -species 175] [-steps 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ctcomm"
+	"ctcomm/internal/apps/airshed"
+	"ctcomm/internal/comm"
+)
+
+func main() {
+	cells := flag.Int("cells", 3500, "grid cells (paper: 3500)")
+	species := flag.Int("species", 175, "chemical species (paper: 35x5)")
+	steps := flag.Int("steps", 4, "chemistry/transport super-steps")
+	flag.Parse()
+
+	m := ctcomm.T3D()
+	fmt.Printf("air-shed model: %d cells x %d species on %s\n\n", *cells, *species, m)
+
+	for _, s := range []struct {
+		name  string
+		style ctcomm.Style
+	}{
+		{"buffer-packing", comm.BufferPacking},
+		{"chained", comm.Chained},
+		{"pvm", comm.PVM},
+	} {
+		res, err := airshed.Run(airshed.Config{
+			M:       m,
+			Style:   s.style,
+			Cells:   *cells,
+			Species: *species,
+			Steps:   *steps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s corner turn %6.1f MB/s/node over %4d transfers/step"+
+			"  (mass drift %.1e)\n",
+			s.name, res.Comm.MBps(), res.PlanTransfers, res.MassDrift)
+		if s.style == comm.Chained {
+			fmt.Printf("%15s pattern mix: %v\n", "", res.Patterns)
+		}
+	}
+	fmt.Println("\nthe corner turn is a strided redistribution — exactly the transpose")
+	fmt.Println("workload where the paper's chained transfers beat buffer packing")
+}

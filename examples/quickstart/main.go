@@ -1,0 +1,61 @@
+// Quickstart: estimate a communication operation with the copy-transfer
+// model and confirm the estimate against the end-to-end simulation.
+//
+// The scenario is the paper's headline case: moving data that must be
+// scattered with a large stride at the destination (one column block of
+// a transposed matrix). Buffer packing pays two local copies; chaining
+// streams address-data pairs straight into the deposit engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctcomm"
+)
+
+func main() {
+	for _, m := range ctcomm.Machines() {
+		fmt.Printf("=== %s ===\n", m)
+
+		// Parameterize the model by measuring every basic transfer on
+		// the simulated machine (the analogue of the paper's Tables 1-3).
+		rates := ctcomm.Calibrate(m)
+
+		x, y := ctcomm.Contig(), ctcomm.Strided(64)
+
+		// Model estimates for both implementations of xQy.
+		packedExpr := ctcomm.BufferPackingExpr(m, x, y)
+		packedEst, err := ctcomm.Estimate(packedExpr, rates, m.DefaultCongestion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chainedExpr, err := ctcomm.ChainedExpr(m, x, y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chainedEst, err := ctcomm.Estimate(chainedExpr, rates, m.DefaultCongestion)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// End-to-end simulated measurements of the same operations.
+		opt := ctcomm.Options{Words: 1 << 17}
+		packedSim, err := ctcomm.Run(m, ctcomm.BufferPacking, x, y, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chainedSim, err := ctcomm.Run(m, ctcomm.Chained, x, y, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("buffer-packing  %-44s  model %5.1f MB/s   simulated %5.1f MB/s\n",
+			packedExpr, packedEst, packedSim.MBps())
+		fmt.Printf("chained         %-44s  model %5.1f MB/s   simulated %5.1f MB/s\n",
+			chainedExpr, chainedEst, chainedSim.MBps())
+		fmt.Printf("chaining advantage: %.2fx\n\n", chainedSim.MBps()/packedSim.MBps())
+	}
+}

@@ -1,0 +1,49 @@
+// Sorstencil reproduces the paper's SOR scenario (§6.1.3): a
+// successive-over-relaxation solver on a 256x256 grid distributed as
+// contiguous row blocks with a replicated overlap region. After every
+// sweep the overlap rows are shifted between neighbors — a contiguous
+// 1Q1 exchange where chaining buys little, the paper's counterpoint to
+// the strided and indexed kernels.
+//
+//	go run ./examples/sorstencil [-g 256] [-nodes 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ctcomm"
+	"ctcomm/internal/apps/sor"
+	"ctcomm/internal/comm"
+)
+
+func main() {
+	g := flag.Int("g", 256, "grid dimension")
+	nodes := flag.Int("nodes", 64, "row-block partitions")
+	flag.Parse()
+
+	m := ctcomm.T3D()
+	fmt.Printf("SOR hot-plate on a %dx%d grid, %s, %d nodes\n\n", *g, *g, m.Name, *nodes)
+
+	for _, s := range []struct {
+		name  string
+		style ctcomm.Style
+	}{
+		{"buffer-packing", comm.BufferPacking},
+		{"chained", comm.Chained},
+		{"pvm", comm.PVM},
+	} {
+		cfg := sor.Config{M: m, Style: s.style, Nodes: *nodes, Tol: 1e-4, MaxIter: 2000}
+		res, err := sor.Solve(cfg, sor.HotPlate(*g))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Sample the solution at the plate center.
+		center := res.Grid[*g/2][*g/2]
+		fmt.Printf("%-15s %4d sweeps (max update %.1e), center %.2f, "+
+			"overlap exchange %5.1f MB/s/node\n",
+			s.name, res.Iterations, res.MaxDelta, center, res.Comm.MBps())
+	}
+	fmt.Println("\ncontiguous shifts need no packing, so the styles stay close (Table 6)")
+}

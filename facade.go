@@ -1,0 +1,173 @@
+package ctcomm
+
+// Extended public API: the compiler view (HPF distributions and
+// redistribution plans), scheduled all-to-all communication, pull-style
+// transfers, trace analysis, and barrier costs. These wrap the internal
+// packages the same way the core facade in ctcomm.go does.
+
+import (
+	"ctcomm/internal/aapc"
+	"ctcomm/internal/apps"
+	"ctcomm/internal/comm"
+	"ctcomm/internal/datatype"
+	"ctcomm/internal/distrib"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/syncsim"
+	"ctcomm/internal/trace"
+)
+
+// --- Compiler view: distributions and redistribution plans ------------
+
+// Distribution maps a one-dimensional array onto processors (HPF BLOCK,
+// CYCLIC, CYCLIC(b), or an explicit irregular owner array).
+type Distribution = distrib.Distribution
+
+// Transfer is one node-to-node movement of a redistribution plan, with
+// its classified access patterns.
+type Transfer = distrib.Transfer
+
+// CommReport accumulates simulated communication cost.
+type CommReport = apps.CommReport
+
+// BlockDist returns the HPF BLOCK distribution of n elements over p
+// processors.
+func BlockDist(n, p int) (Distribution, error) { return distrib.NewBlock(n, p) }
+
+// CyclicDist returns the HPF CYCLIC distribution.
+func CyclicDist(n, p int) (Distribution, error) { return distrib.NewCyclic(n, p) }
+
+// BlockCyclicDist returns the HPF CYCLIC(b) distribution.
+func BlockCyclicDist(n, p, b int) (Distribution, error) { return distrib.NewBlockCyclic(n, p, b) }
+
+// PlanRedistribution computes the transfers an array redistribution
+// demands, with per-side access patterns — the compiler's input to the
+// communication operation xQy (paper §2.1-2.2).
+func PlanRedistribution(src, dst Distribution) ([]Transfer, error) { return distrib.Plan(src, dst) }
+
+// PriceRedistribution times a redistribution plan on the simulated
+// machine with the given communication style.
+func PriceRedistribution(m *Machine, plan []Transfer, style Style) (CommReport, error) {
+	return distrib.Execute(m, plan, distrib.ExecuteOptions{Style: style})
+}
+
+// ClassifyOffsets infers the symbolic access pattern of a local offset
+// sequence (contiguous, strided, block-strided, or indexed).
+func ClassifyOffsets(offsets []int64) (Pattern, error) { return distrib.Classify(offsets) }
+
+// --- Scheduled all-to-all communication --------------------------------
+
+// AAPCSchedule is a phase schedule for the complete exchange.
+type AAPCSchedule = aapc.Schedule
+
+// AAPCShift returns the cyclic-shift schedule for any node count.
+func AAPCShift(nodes int) (*AAPCSchedule, error) { return aapc.Shift(nodes) }
+
+// AAPCXOR returns the pairwise-exchange schedule for power-of-two node
+// counts — the schedule that achieves the paper's "minimal congestion"
+// for dense transposes (§4.3).
+func AAPCXOR(nodes int) (*AAPCSchedule, error) { return aapc.XOR(nodes) }
+
+// --- Pull-style transfers ----------------------------------------------
+
+// GetOptions extends Options for pull (remote load) transfers.
+type GetOptions = comm.GetOptions
+
+// RunGet simulates the pull variant of a communication operation: the
+// destination withdraws the data. Gets never beat puts — address
+// information has to travel first (paper §3.5, footnote 2).
+func RunGet(m *Machine, style Style, x, y Pattern, opt GetOptions) (Result, error) {
+	return comm.RunGet(m, style, x, y, opt)
+}
+
+// --- Trace analysis -----------------------------------------------------
+
+// Trace is a recorded memory access stream.
+type Trace = trace.Trace
+
+// TraceStats summarizes a trace (reuse, locality, dominant stride).
+type TraceStats = trace.Stats
+
+// RecordTrace captures the access stream of a pattern over words 64-bit
+// words starting at byte address base.
+func RecordTrace(spec Pattern, base int64, words int, write bool) *Trace {
+	st := pattern.NewStream(spec, base, words)
+	if spec.Kind() == pattern.KindIndexed {
+		st.WithIndex(pattern.Permutation(words, 0x7A11))
+	}
+	return trace.Record(st, write)
+}
+
+// AnalyzeTrace computes trace statistics for the given cache-line and
+// DRAM-page sizes. It quantifies the paper's §3.1 observation that
+// communication access streams have essentially no temporal locality.
+func AnalyzeTrace(t *Trace, lineBytes, pageBytes int) (TraceStats, error) {
+	return trace.Analyze(t, lineBytes, pageBytes)
+}
+
+// --- Synchronization -----------------------------------------------------
+
+// BarrierCost estimates the cheapest barrier across nodes participants
+// on the machine, in nanoseconds (paper §2.1: synchronization brackets
+// every compiled communication step).
+func BarrierCost(m *Machine, nodes int) (float64, error) {
+	c, _, err := syncsim.Best(m, nodes)
+	return c, err
+}
+
+// --- Two-dimensional distributions --------------------------------------
+
+// Dist2D maps a 2D array onto a processor grid, one HPF distribution
+// per dimension.
+type Dist2D = distrib.Dist2D
+
+// NewDist2D combines row and column distributions over an R x C array.
+func NewDist2D(rows, cols int, row, col Distribution) (Dist2D, error) {
+	return distrib.NewDist2D(rows, cols, row, col)
+}
+
+// RowBlockDist returns the (BLOCK, *) layout of an R x C array.
+func RowBlockDist(rows, cols, procs int) (Dist2D, error) {
+	return distrib.RowBlock(rows, cols, procs)
+}
+
+// ColBlockDist returns the (*, BLOCK) layout.
+func ColBlockDist(rows, cols, procs int) (Dist2D, error) {
+	return distrib.ColBlock(rows, cols, procs)
+}
+
+// PlanRemap2D plans the redistribution between two 2D layouts.
+func PlanRemap2D(src, dst Dist2D) ([]Transfer, error) { return distrib.Plan2D(src, dst) }
+
+// PlanTranspose plans the paper's Figure 9 transpose b[i][j] = a[j][i]
+// for an n x n row-block-distributed array; stridedLoads selects the
+// nQ1 orientation instead of the default 1Qn (§5.2).
+func PlanTranspose(n, procs int, stridedLoads bool) ([]Transfer, error) {
+	return distrib.TransposePlan(n, procs, stridedLoads)
+}
+
+// --- MPI-style derived datatypes -----------------------------------------
+
+// Datatype is an MPI-style derived datatype mapped onto the model's
+// pattern classes (the standardized successor of the paper's gather and
+// scatter descriptions).
+type Datatype = datatype.Datatype
+
+// ContiguousType returns the datatype of count consecutive words.
+func ContiguousType(count int) (*Datatype, error) { return datatype.Contiguous(count) }
+
+// VectorType returns count blocks of blocklen words every stride words
+// (MPI_Type_vector).
+func VectorType(count, blocklen, stride int) (*Datatype, error) {
+	return datatype.Vector(count, blocklen, stride)
+}
+
+// IndexedType returns blocks at explicit displacements (MPI_Type_indexed).
+func IndexedType(blocklens []int, displs []int64) (*Datatype, error) {
+	return datatype.Indexed(blocklens, displs)
+}
+
+// SendType simulates transferring a derived-datatype buffer between
+// nodes with the given library strategy.
+func SendType(m *Machine, style Style, sendType, recvType *Datatype, opt Options) (Result, error) {
+	return datatype.Send(m, style, sendType, recvType, opt)
+}

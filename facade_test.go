@@ -1,0 +1,174 @@
+package ctcomm_test
+
+import (
+	"testing"
+
+	"ctcomm"
+)
+
+func TestFacadeRedistribution(t *testing.T) {
+	src, err := ctcomm.BlockDist(1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ctcomm.CyclicDist(1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ctcomm.PlanRedistribution(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 8*7 {
+		t.Fatalf("plan transfers = %d, want 56", len(plan))
+	}
+	m := ctcomm.T3D()
+	packed, err := ctcomm.PriceRedistribution(m, plan, ctcomm.BufferPacking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := ctcomm.PriceRedistribution(m, plan, ctcomm.Chained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.MBps() <= packed.MBps() {
+		t.Errorf("chained %.1f <= packed %.1f MB/s", chained.MBps(), packed.MBps())
+	}
+}
+
+func TestFacadeBlockCyclicAndClassify(t *testing.T) {
+	if _, err := ctcomm.BlockCyclicDist(64, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ctcomm.ClassifyOffsets([]int64{0, 16, 32, 48})
+	if err != nil || p != ctcomm.Strided(16) {
+		t.Errorf("ClassifyOffsets = %v, %v", p, err)
+	}
+}
+
+func TestFacadeAAPC(t *testing.T) {
+	m := ctcomm.T3D()
+	s, err := ctcomm.AAPCXOR(m.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.MaxCongestion(m.Topo, m.Net.NodesPerPort); c != 2 {
+		t.Errorf("XOR congestion on T3D = %v, want 2 (the paper's minimum)", c)
+	}
+	if _, err := ctcomm.AAPCShift(10); err != nil {
+		t.Errorf("shift schedule for non-power-of-two: %v", err)
+	}
+}
+
+func TestFacadeGet(t *testing.T) {
+	m := ctcomm.T3D()
+	put, err := ctcomm.Run(m, ctcomm.Chained, ctcomm.Strided(64), ctcomm.Contig(),
+		ctcomm.Options{Words: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get, err := ctcomm.RunGet(m, ctcomm.Chained, ctcomm.Strided(64), ctcomm.Contig(),
+		ctcomm.GetOptions{Options: ctcomm.Options{Words: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get.MBps() > put.MBps() {
+		t.Errorf("get %.1f beat put %.1f", get.MBps(), put.MBps())
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	tr := ctcomm.RecordTrace(ctcomm.Strided(64), 0, 1024, false)
+	stats, err := ctcomm.AnalyzeTrace(tr, 32, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DominantStride != 64 {
+		t.Errorf("dominant stride = %d, want 64", stats.DominantStride)
+	}
+	if stats.TemporalReuse != 0 {
+		t.Errorf("temporal reuse = %v, want 0 (paper §3.1)", stats.TemporalReuse)
+	}
+	// Indexed traces get a generated permutation.
+	tri := ctcomm.RecordTrace(ctcomm.Indexed(), 0, 256, true)
+	if tri.Len() <= 256 {
+		t.Error("indexed trace should include index-load overhead")
+	}
+}
+
+func TestFacadeBarrier(t *testing.T) {
+	t3d, err := ctcomm.BarrierCost(ctcomm.T3D(), 64)
+	if err != nil || t3d <= 0 {
+		t.Fatalf("T3D barrier = %v, %v", t3d, err)
+	}
+	par, err := ctcomm.BarrierCost(ctcomm.Paragon(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The T3D's hardware barrier wires beat the Paragon's software path.
+	if t3d >= par {
+		t.Errorf("T3D hw barrier %v not below Paragon sw barrier %v", t3d, par)
+	}
+}
+
+func TestFacade2D(t *testing.T) {
+	src, err := ctcomm.RowBlockDist(64, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ctcomm.ColBlockDist(64, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remap, err := ctcomm.PlanRemap2D(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap) != 8*7 {
+		t.Fatalf("remap transfers = %d", len(remap))
+	}
+	tp, err := ctcomm.PlanTranspose(64, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ctcomm.T3D()
+	packed, err := ctcomm.PriceRedistribution(m, tp, ctcomm.BufferPacking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := ctcomm.PriceRedistribution(m, tp, ctcomm.Chained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.MBps() <= packed.MBps() {
+		t.Errorf("chained transpose plan %.1f <= packed %.1f MB/s", chained.MBps(), packed.MBps())
+	}
+}
+
+func TestFacadeDatatypes(t *testing.T) {
+	m := ctcomm.T3D()
+	vec, err := ctcomm.VectorType(256, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Spec() != ctcomm.Strided(64) && vec.Spec().String() != "64x2" {
+		t.Errorf("vector spec = %v", vec.Spec())
+	}
+	recv, err := ctcomm.ContiguousType(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctcomm.SendType(m, ctcomm.Chained, vec, recv, ctcomm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps() <= 0 {
+		t.Error("datatype send must have positive rate")
+	}
+	if _, err := ctcomm.IndexedType([]int{1, 1}, []int64{0, 0}); err == nil {
+		t.Error("overlapping indexed type should fail")
+	}
+}

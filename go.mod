@@ -1,0 +1,3 @@
+module ctcomm
+
+go 1.22

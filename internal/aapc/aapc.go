@@ -1,0 +1,176 @@
+// Package aapc implements schedules for all-to-all personalized
+// communication (complete exchange), the dense traffic pattern of the
+// paper's transpose workloads. Paper §4.3 asserts — citing the AAPC
+// scheduling work of Hinrichs et al. [8] — that "even dense patterns
+// like the complete exchange ... can be scheduled with minimal
+// congestion on T3D tori of up to 1024 compute nodes"; this package
+// provides two such phase schedules and the machinery to verify their
+// congestion on a topology and to simulate their makespan on the
+// event-level network.
+package aapc
+
+import (
+	"fmt"
+
+	"ctcomm/internal/netsim"
+	"ctcomm/internal/sim"
+)
+
+// Pair is one ordered exchange of a phase.
+type Pair struct {
+	Src, Dst int
+}
+
+// Schedule is an ordered sequence of phases; within a phase every node
+// sends at most one message and receives at most one message, so the
+// phases can run back to back with a barrier between them.
+type Schedule struct {
+	Nodes  int
+	Phases [][]Pair
+}
+
+// Shift returns the cyclic-shift (rotation) schedule: in phase k every
+// node i sends its personalized block to (i+k) mod n. It works for any
+// node count and needs n-1 phases.
+func Shift(nodes int) (*Schedule, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("aapc: need at least 2 nodes, got %d", nodes)
+	}
+	s := &Schedule{Nodes: nodes}
+	for k := 1; k < nodes; k++ {
+		phase := make([]Pair, 0, nodes)
+		for i := 0; i < nodes; i++ {
+			phase = append(phase, Pair{Src: i, Dst: (i + k) % nodes})
+		}
+		s.Phases = append(s.Phases, phase)
+	}
+	return s, nil
+}
+
+// XOR returns the exclusive-or (pairwise exchange) schedule: in phase k
+// node i exchanges with i XOR k. Each phase is a perfect matching, the
+// classic hypercube-style AAPC schedule; nodes must be a power of two.
+func XOR(nodes int) (*Schedule, error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("aapc: XOR schedule needs a power-of-two node count, got %d", nodes)
+	}
+	s := &Schedule{Nodes: nodes}
+	for k := 1; k < nodes; k++ {
+		phase := make([]Pair, 0, nodes)
+		for i := 0; i < nodes; i++ {
+			phase = append(phase, Pair{Src: i, Dst: i ^ k})
+		}
+		s.Phases = append(s.Phases, phase)
+	}
+	return s, nil
+}
+
+// Validate checks that the schedule is a correct complete exchange:
+// every ordered pair (i, j), i != j, appears exactly once across all
+// phases, and within each phase every node sends at most once and
+// receives at most once.
+func (s *Schedule) Validate() error {
+	seen := make(map[Pair]bool)
+	for pi, phase := range s.Phases {
+		sends := make(map[int]bool)
+		recvs := make(map[int]bool)
+		for _, p := range phase {
+			if p.Src == p.Dst {
+				return fmt.Errorf("aapc: phase %d has a self exchange at node %d", pi, p.Src)
+			}
+			if p.Src < 0 || p.Src >= s.Nodes || p.Dst < 0 || p.Dst >= s.Nodes {
+				return fmt.Errorf("aapc: phase %d has out-of-range pair %v", pi, p)
+			}
+			if sends[p.Src] {
+				return fmt.Errorf("aapc: phase %d: node %d sends twice", pi, p.Src)
+			}
+			if recvs[p.Dst] {
+				return fmt.Errorf("aapc: phase %d: node %d receives twice", pi, p.Dst)
+			}
+			sends[p.Src] = true
+			recvs[p.Dst] = true
+			if seen[p] {
+				return fmt.Errorf("aapc: pair %v scheduled twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	want := s.Nodes * (s.Nodes - 1)
+	if len(seen) != want {
+		return fmt.Errorf("aapc: %d pairs scheduled, want %d", len(seen), want)
+	}
+	return nil
+}
+
+// PhaseCongestion returns the congestion factor of every phase on the
+// topology (including shared-port effects).
+func (s *Schedule) PhaseCongestion(topo netsim.Topology, nodesPerPort int) []float64 {
+	out := make([]float64, len(s.Phases))
+	for i, phase := range s.Phases {
+		flows := make([]netsim.Flow, 0, len(phase))
+		for _, p := range phase {
+			flows = append(flows, netsim.Flow{Src: p.Src, Dst: p.Dst, Bytes: 1})
+		}
+		out[i] = netsim.CongestionOf(topo, flows, nodesPerPort)
+	}
+	return out
+}
+
+// MaxCongestion returns the worst phase congestion.
+func (s *Schedule) MaxCongestion(topo netsim.Topology, nodesPerPort int) float64 {
+	max := 0.0
+	for _, c := range s.PhaseCongestion(topo, nodesPerPort) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Makespan simulates the schedule on the event-level network: phases
+// run one after another (separated by barrierNs), and within a phase
+// all exchanges proceed concurrently. bytesPerPair is the personalized
+// block size.
+func (s *Schedule) Makespan(net *netsim.Network, bytesPerPair int64, mode netsim.Mode, barrierNs float64) sim.Time {
+	var t sim.Time
+	for _, phase := range s.Phases {
+		flows := make([]netsim.Flow, 0, len(phase))
+		for _, p := range phase {
+			flows = append(flows, netsim.Flow{Src: p.Src, Dst: p.Dst, Bytes: bytesPerPair})
+		}
+		_, end := net.Batch(t, flows, mode)
+		t = end + sim.Time(barrierNs)
+	}
+	return t
+}
+
+// UnscheduledMakespan simulates the naive alternative: every node
+// injects all of its n-1 personalized messages at once.
+func UnscheduledMakespan(net *netsim.Network, nodes int, bytesPerPair int64, mode netsim.Mode) sim.Time {
+	_, end := net.Batch(0, netsim.AllToAll(nodes, bytesPerPair), mode)
+	return end
+}
+
+// MakespanCircuit is Makespan under the blocking-wormhole (circuit)
+// network model, where a message holds its whole path: the regime in
+// which phase scheduling pays off in completion time, not just in
+// bounded congestion.
+func (s *Schedule) MakespanCircuit(net *netsim.Network, bytesPerPair int64, mode netsim.Mode, barrierNs float64) sim.Time {
+	var t sim.Time
+	for _, phase := range s.Phases {
+		flows := make([]netsim.Flow, 0, len(phase))
+		for _, p := range phase {
+			flows = append(flows, netsim.Flow{Src: p.Src, Dst: p.Dst, Bytes: bytesPerPair})
+		}
+		_, end := net.BatchCircuit(t, flows, mode)
+		t = end + sim.Time(barrierNs)
+	}
+	return t
+}
+
+// UnscheduledMakespanCircuit simulates the naive all-at-once complete
+// exchange under the blocking-wormhole model.
+func UnscheduledMakespanCircuit(net *netsim.Network, nodes int, bytesPerPair int64, mode netsim.Mode) sim.Time {
+	_, end := net.BatchCircuit(0, netsim.AllToAll(nodes, bytesPerPair), mode)
+	return end
+}

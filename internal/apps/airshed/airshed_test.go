@@ -1,0 +1,150 @@
+package airshed
+
+import (
+	"math"
+	"testing"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+)
+
+func smallCfg(style comm.Style) Config {
+	return Config{
+		M:       machine.T3D(),
+		Style:   style,
+		Cells:   256,
+		Species: 20,
+		Procs:   16,
+		Steps:   2,
+	}
+}
+
+func TestChemistryConservesMass(t *testing.T) {
+	s := NewState(64, 10)
+	before := s.Total()
+	for i := 0; i < 50; i++ {
+		Chemistry(s, 0.1)
+	}
+	if d := math.Abs(s.Total()-before) / before; d > 1e-12 {
+		t.Errorf("chemistry mass drift %g", d)
+	}
+}
+
+func TestTransportConservesMass(t *testing.T) {
+	s := NewState(64, 10)
+	before := s.Total()
+	for i := 0; i < 50; i++ {
+		Transport(s, 0.05)
+	}
+	if d := math.Abs(s.Total()-before) / before; d > 1e-12 {
+		t.Errorf("transport mass drift %g", d)
+	}
+}
+
+func TestChemistryEquilibrates(t *testing.T) {
+	// The conservative exchange drives each cell's species toward the
+	// cell mean.
+	s := NewState(4, 8)
+	for i := 0; i < 5000; i++ {
+		Chemistry(s, 0.2)
+	}
+	for i, row := range s.C {
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		for j, v := range row {
+			if math.Abs(v-mean) > 1e-6 {
+				t.Fatalf("cell %d species %d = %g, mean %g", i, j, v, mean)
+			}
+		}
+	}
+}
+
+func TestTransportMovesPlume(t *testing.T) {
+	s := &State{Cells: 8, Species: 1, C: make([][]float64, 8)}
+	for i := range s.C {
+		s.C[i] = []float64{0}
+	}
+	s.C[0][0] = 1
+	Transport(s, 0.5)
+	if s.C[0][0] != 0.5 || s.C[1][0] != 0.5 {
+		t.Errorf("advection wrong: %v %v", s.C[0][0], s.C[1][0])
+	}
+}
+
+func TestRunReportsCornerTurn(t *testing.T) {
+	res, err := Run(smallCfg(comm.Chained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MassDrift > 1e-12 {
+		t.Errorf("mass drift %g", res.MassDrift)
+	}
+	if res.PlanTransfers == 0 || res.Comm.Messages == 0 {
+		t.Errorf("corner turn missing: %+v", res)
+	}
+	// Two redistributions per step.
+	if res.Comm.ElapsedNs <= 0 || res.Comm.MBps() <= 0 {
+		t.Errorf("comm report empty: %+v", res.Comm)
+	}
+	// The corner turn is a strided workload: no transfer may classify
+	// as plain contiguous on both sides.
+	for pat := range res.Patterns {
+		if pat == "1Q1" {
+			t.Errorf("corner turn produced a fully contiguous transfer")
+		}
+	}
+}
+
+func TestChainedBeatsPackedForCornerTurn(t *testing.T) {
+	packed, err := Run(smallCfg(comm.BufferPacking))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := Run(smallCfg(comm.Chained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.Comm.MBps() <= packed.Comm.MBps() {
+		t.Errorf("chained corner turn %.1f <= packed %.1f MB/s",
+			chained.Comm.MBps(), packed.Comm.MBps())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := smallCfg(comm.Chained)
+	cfg.M = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("missing machine should fail")
+	}
+	cfg = smallCfg(comm.Chained)
+	cfg.Cells = 4
+	cfg.Procs = 16
+	if _, err := Run(cfg); err == nil {
+		t.Error("fewer cells than nodes should fail")
+	}
+}
+
+func TestRunDefaultsToPaperSizes(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained, Procs: 4, Steps: 1,
+		Cells: 350, Species: 35} // scaled-down paper shape
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.PayloadBytes == 0 {
+		t.Error("no data moved")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained}
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cells != 3500 || cfg.Species != 175 || cfg.Procs != 64 || cfg.Steps != 1 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}

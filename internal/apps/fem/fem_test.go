@@ -1,0 +1,266 @@
+package fem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+)
+
+func testMesh(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := GenValley(12, 12, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenValleyDeterministic(t *testing.T) {
+	a, _ := GenValley(8, 8, 4, 7)
+	b, _ := GenValley(8, 8, 4, 7)
+	if a.Vertices() != b.Vertices() || a.Edges() != b.Edges() {
+		t.Fatal("mesh generation not deterministic")
+	}
+	c, _ := GenValley(8, 8, 4, 8)
+	if a.Edges() == c.Edges() && a.Vertices() == c.Vertices() {
+		// Different seeds may coincide in counts, but the coordinates
+		// must differ.
+		same := true
+		for i := range a.Coords {
+			if a.Coords[i] != c.Coords[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical meshes")
+		}
+	}
+}
+
+func TestGenValleyValidation(t *testing.T) {
+	if _, err := GenValley(1, 8, 4, 1); err == nil {
+		t.Error("tiny mesh should fail")
+	}
+}
+
+func TestValleyIsIrregular(t *testing.T) {
+	m := testMesh(t)
+	// Vertex degrees must vary (irregular graph, not a stencil).
+	degrees := map[int]bool{}
+	for _, adj := range m.Adj {
+		degrees[len(adj)] = true
+	}
+	if len(degrees) < 3 {
+		t.Errorf("only %d distinct degrees; mesh looks regular", len(degrees))
+	}
+	// The valley profile means columns have different depths: vertex
+	// count is well below the full box.
+	if m.Vertices() >= 12*12*6 {
+		t.Error("valley profile missing: full box generated")
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	m := testMesh(t)
+	for v, adj := range m.Adj {
+		for _, w := range adj {
+			found := false
+			for _, u := range m.Adj[w] {
+				if u == int32(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not symmetric", v, w)
+			}
+		}
+	}
+}
+
+func TestLaplacianSPDish(t *testing.T) {
+	m := testMesh(t)
+	a := m.Laplacian()
+	// Strict diagonal dominance: diag = degree+1, off-diag sum = degree.
+	for i := 0; i < a.N; i++ {
+		var diag, off float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.Col[p] == int32(i) {
+				diag = a.Val[p]
+			} else {
+				off += math.Abs(a.Val[p])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: %g vs %g", i, diag, off)
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	m := testMesh(t)
+	for _, parts := range []int{2, 4, 8, 16} {
+		assign, err := Partition(m, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := PartSizes(assign, parts)
+		min, max := m.Vertices(), 0
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("parts=%d: imbalance %d..%d", parts, min, max)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	m := testMesh(t)
+	if _, err := Partition(m, 3); err == nil {
+		t.Error("non-power-of-two parts should fail")
+	}
+	if _, err := Partition(m, 0); err == nil {
+		t.Error("zero parts should fail")
+	}
+	if _, err := Partition(m, 1<<20); err == nil {
+		t.Error("more parts than vertices should fail")
+	}
+}
+
+func TestEdgeCutSmallerThanTotal(t *testing.T) {
+	m := testMesh(t)
+	assign, _ := Partition(m, 8)
+	cut := EdgeCut(m, assign)
+	if cut <= 0 {
+		t.Error("partitioned mesh must have a positive edge cut")
+	}
+	// A "well partitioned" mesh exchanges only a fraction of its data
+	// (paper §6.1.2): the cut must be well below the edge total.
+	if frac := float64(cut) / float64(m.Edges()); frac > 0.35 {
+		t.Errorf("edge cut fraction %.2f too high for RCB", frac)
+	}
+}
+
+func TestHalosConsistent(t *testing.T) {
+	m := testMesh(t)
+	const parts = 8
+	assign, _ := Partition(m, parts)
+	halos := Halos(m, assign, parts)
+	if len(halos) == 0 {
+		t.Fatal("no halos on a partitioned mesh")
+	}
+	for _, h := range halos {
+		if h.From == h.To {
+			t.Fatal("self halo")
+		}
+		if len(h.Indices) == 0 {
+			t.Fatal("empty halo")
+		}
+		for i, v := range h.Indices {
+			if assign[v] != h.From {
+				t.Fatalf("halo %d->%d contains vertex %d owned by %d", h.From, h.To, v, assign[v])
+			}
+			if i > 0 && h.Indices[i] <= h.Indices[i-1] {
+				t.Fatal("halo indices not sorted")
+			}
+			// The vertex must actually border part To.
+			borders := false
+			for _, w := range m.Adj[v] {
+				if assign[w] == h.To {
+					borders = true
+					break
+				}
+			}
+			if !borders {
+				t.Fatalf("vertex %d in halo %d->%d has no neighbor there", v, h.From, h.To)
+			}
+		}
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	// 2x2: [[2,-1],[-1,2]] * [1,1] = [1,1]
+	a := &CSR{N: 2, RowPtr: []int64{0, 2, 4}, Col: []int32{0, 1, 0, 1}, Val: []float64{2, -1, -1, 2}}
+	y := make([]float64, 2)
+	a.MulVec([]float64{1, 1}, y)
+	if y[0] != 1 || y[1] != 1 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestSolveConverges(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained, Parts: 8, Seed: 42}
+	res, mesh, err := SolveValley(cfg, 10, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-8 {
+		t.Errorf("CG did not converge: residual %g after %d iterations", res.Residual, res.Iterations)
+	}
+	// Verify the solution satisfies A·x = b.
+	a := mesh.Laplacian()
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = math.Sin(float64(i)*0.7) + 0.5
+	}
+	ax := make([]float64, a.N)
+	a.MulVec(res.X, ax)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-6 {
+			t.Fatalf("residual check failed at %d: %g vs %g", i, ax[i], b[i])
+		}
+	}
+	if res.Comm.Messages == 0 || res.Comm.ElapsedNs <= 0 {
+		t.Errorf("missing comm report: %+v", res.Comm)
+	}
+	if res.HaloWords <= 0 {
+		t.Error("halo words should be positive")
+	}
+}
+
+func TestChainedFEMBeatsPacked(t *testing.T) {
+	// Table 6: FEM chained 14.2 vs packed 12.2 MB/s.
+	packed := Config{M: machine.T3D(), Style: comm.BufferPacking, Parts: 16, Seed: 9}
+	chained := Config{M: machine.T3D(), Style: comm.Chained, Parts: 16, Seed: 9}
+	rp, _, err := SolveValley(packed, 12, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := SolveValley(chained, 12, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Comm.MBps() <= rp.Comm.MBps() {
+		t.Errorf("chained FEM %.1f <= packed %.1f MB/s", rc.Comm.MBps(), rp.Comm.MBps())
+	}
+}
+
+func TestPartitionCoversAllVerticesProperty(t *testing.T) {
+	m := testMesh(t)
+	f := func(pRaw uint8) bool {
+		parts := 1 << (pRaw % 5) // 1..16
+		assign, err := Partition(m, parts)
+		if err != nil {
+			return false
+		}
+		for _, p := range assign {
+			if p < 0 || int(p) >= parts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package fem implements the finite-element application kernel of paper
+// §6.1.2: an iterative solver on a partitioned irregular 3D mesh (the
+// paper's graph models an alluvial valley surrounded by hard rock, used
+// for earthquake simulation). Only a fraction of each partition's
+// values is exchanged per solver step, through index arrays — the ωQω
+// communication pattern.
+package fem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mesh is an irregular 3D vertex graph with symmetric adjacency.
+type Mesh struct {
+	Coords [][3]float64
+	Adj    [][]int32
+}
+
+// Vertices returns the vertex count.
+func (m *Mesh) Vertices() int { return len(m.Coords) }
+
+// Edges returns the number of undirected edges.
+func (m *Mesh) Edges() int {
+	total := 0
+	for _, a := range m.Adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// rng is a small deterministic generator (duplicated from pattern to
+// keep packages decoupled).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// GenValley generates a synthetic "alluvial valley" mesh: an nx×ny×nz
+// layered grid whose depth follows a valley profile (deep soft sediment
+// in the middle, shallow at the rock edges), with jittered coordinates
+// and extra irregular edges so the graph is not a regular stencil.
+// The same seed always produces the same mesh.
+func GenValley(nx, ny, nz int, seed uint64) (*Mesh, error) {
+	if nx < 2 || ny < 2 || nz < 1 {
+		return nil, fmt.Errorf("fem: mesh dims %dx%dx%d too small", nx, ny, nz)
+	}
+	if seed == 0 {
+		seed = 0xFEA2B3C4D5E6F708
+	}
+	r := &rng{s: seed}
+
+	// Valley depth profile: number of layers under (x,y) follows a
+	// raised-cosine bowl; edge columns sit on "rock" with few layers.
+	depth := make([][]int, nx)
+	id := make([][][]int, nx)
+	count := 0
+	for i := 0; i < nx; i++ {
+		depth[i] = make([]int, ny)
+		id[i] = make([][]int, ny)
+		for j := 0; j < ny; j++ {
+			fx := float64(i)/float64(nx-1)*2 - 1
+			fy := float64(j)/float64(ny-1)*2 - 1
+			bowl := math.Cos(fx*math.Pi/2) * math.Cos(fy*math.Pi/2)
+			layers := 1 + int(bowl*float64(nz-1)+0.5)
+			depth[i][j] = layers
+			id[i][j] = make([]int, layers)
+			for k := 0; k < layers; k++ {
+				id[i][j][k] = count
+				count++
+			}
+		}
+	}
+
+	m := &Mesh{
+		Coords: make([][3]float64, count),
+		Adj:    make([][]int32, count),
+	}
+	addEdge := func(a, b int) {
+		for _, v := range m.Adj[a] {
+			if v == int32(b) {
+				return
+			}
+		}
+		m.Adj[a] = append(m.Adj[a], int32(b))
+		m.Adj[b] = append(m.Adj[b], int32(a))
+	}
+
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < depth[i][j]; k++ {
+				v := id[i][j][k]
+				jit := func() float64 { return (r.float() - 0.5) * 0.4 }
+				m.Coords[v] = [3]float64{
+					float64(i) + jit(),
+					float64(j) + jit(),
+					float64(k) + jit(),
+				}
+				// Vertical edge within the column.
+				if k > 0 {
+					addEdge(v, id[i][j][k-1])
+				}
+				// Lateral edges to neighbor columns (clamped to their depth).
+				for _, d := range [][2]int{{1, 0}, {0, 1}} {
+					ni, nj := i+d[0], j+d[1]
+					if ni >= nx || nj >= ny {
+						continue
+					}
+					nk := k
+					if nk >= depth[ni][nj] {
+						nk = depth[ni][nj] - 1
+					}
+					addEdge(v, id[ni][nj][nk])
+				}
+			}
+		}
+	}
+
+	// Irregular extra edges: short-range random diagonals (about 10% of
+	// vertices get one), which break the stencil regularity like the
+	// unstructured tetrahedra of the original mesh.
+	for v := 0; v < count; v++ {
+		if r.intn(10) != 0 {
+			continue
+		}
+		i := r.intn(nx)
+		j := r.intn(ny)
+		k := r.intn(depth[i][j])
+		w := id[i][j][k]
+		if w == v {
+			continue
+		}
+		d := 0.0
+		for c := 0; c < 3; c++ {
+			d += math.Abs(m.Coords[v][c] - m.Coords[w][c])
+		}
+		if d < 4 { // keep the extra edges local
+			addEdge(v, w)
+		}
+	}
+	return m, nil
+}
+
+// Laplacian builds the SPD sparse system matrix A = L + I from the mesh
+// graph (graph Laplacian plus a mass term) in CSR form.
+func (m *Mesh) Laplacian() *CSR {
+	n := m.Vertices()
+	rowPtr := make([]int64, n+1)
+	nnz := 0
+	for v := 0; v < n; v++ {
+		nnz += len(m.Adj[v]) + 1
+	}
+	col := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for v := 0; v < n; v++ {
+		deg := float64(len(m.Adj[v]))
+		// Diagonal first, then neighbors.
+		col = append(col, int32(v))
+		val = append(val, deg+1)
+		for _, w := range m.Adj[v] {
+			col = append(col, w)
+			val = append(val, -1)
+		}
+		rowPtr[v+1] = int64(len(col))
+	}
+	return &CSR{N: n, RowPtr: rowPtr, Col: col, Val: val}
+}

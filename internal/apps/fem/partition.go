@@ -1,0 +1,135 @@
+package fem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition assigns mesh vertices to parts by recursive coordinate
+// bisection: the vertex set is recursively split at the median of its
+// widest coordinate axis, producing the "well partitioned grid" of
+// paper §6.1.2. parts must be a power of two.
+func Partition(m *Mesh, parts int) ([]int32, error) {
+	if parts < 1 || parts&(parts-1) != 0 {
+		return nil, fmt.Errorf("fem: parts must be a positive power of two, got %d", parts)
+	}
+	if m.Vertices() < parts {
+		return nil, fmt.Errorf("fem: %d vertices cannot fill %d parts", m.Vertices(), parts)
+	}
+	assign := make([]int32, m.Vertices())
+	ids := make([]int32, m.Vertices())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	rcb(m, ids, 0, parts, assign)
+	return assign, nil
+}
+
+// rcb recursively bisects the vertices in ids into parts, writing part
+// numbers starting at base.
+func rcb(m *Mesh, ids []int32, base, parts int, assign []int32) {
+	if parts == 1 {
+		for _, v := range ids {
+			assign[v] = int32(base)
+		}
+		return
+	}
+	// Pick the widest axis.
+	var lo, hi [3]float64
+	for c := 0; c < 3; c++ {
+		lo[c], hi[c] = 1e300, -1e300
+	}
+	for _, v := range ids {
+		for c := 0; c < 3; c++ {
+			x := m.Coords[v][c]
+			if x < lo[c] {
+				lo[c] = x
+			}
+			if x > hi[c] {
+				hi[c] = x
+			}
+		}
+	}
+	axis := 0
+	for c := 1; c < 3; c++ {
+		if hi[c]-lo[c] > hi[axis]-lo[axis] {
+			axis = c
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return m.Coords[ids[i]][axis] < m.Coords[ids[j]][axis]
+	})
+	mid := len(ids) / 2
+	rcb(m, ids[:mid], base, parts/2, assign)
+	rcb(m, ids[mid:], base+parts/2, parts/2, assign)
+}
+
+// PartSizes returns how many vertices each part owns.
+func PartSizes(assign []int32, parts int) []int {
+	sizes := make([]int, parts)
+	for _, p := range assign {
+		sizes[p]++
+	}
+	return sizes
+}
+
+// EdgeCut counts undirected edges crossing part boundaries.
+func EdgeCut(m *Mesh, assign []int32) int {
+	cut := 0
+	for v, adj := range m.Adj {
+		for _, w := range adj {
+			if int32(v) < w && assign[v] != assign[w] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Halo describes the values part p must receive from part q each solver
+// step: the indices (in q's vertex set) of q-owned vertices adjacent to
+// p-owned vertices.
+type Halo struct {
+	From, To int32
+	Indices  []int32 // vertex ids owned by From, needed by To
+}
+
+// Halos computes every directed halo exchange of a partitioning. Each
+// Halo is one ωQω message per solver iteration; the index arrays are
+// exactly the "intermediate index array T" of paper Figure 2.
+func Halos(m *Mesh, assign []int32, parts int) []Halo {
+	type key struct{ from, to int32 }
+	sets := make(map[key]map[int32]bool)
+	for v, adj := range m.Adj {
+		for _, w := range adj {
+			pv, pw := assign[v], assign[w]
+			if pv == pw {
+				continue
+			}
+			// v's owner needs w's value: w's owner (pw) sends to pv.
+			k := key{from: pw, to: pv}
+			s, ok := sets[k]
+			if !ok {
+				s = make(map[int32]bool)
+				sets[k] = s
+			}
+			s[w] = true
+		}
+	}
+	halos := make([]Halo, 0, len(sets))
+	for k, s := range sets {
+		idx := make([]int32, 0, len(s))
+		for v := range s {
+			idx = append(idx, v)
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+		halos = append(halos, Halo{From: k.from, To: k.to, Indices: idx})
+	}
+	sort.Slice(halos, func(i, j int) bool {
+		if halos[i].From != halos[j].From {
+			return halos[i].From < halos[j].From
+		}
+		return halos[i].To < halos[j].To
+	})
+	return halos
+}

@@ -1,0 +1,125 @@
+package fft
+
+import (
+	"fmt"
+
+	"ctcomm/internal/apps"
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+)
+
+// DistConfig describes a distributed transpose/2D-FFT run.
+type DistConfig struct {
+	M     *machine.Machine
+	Style comm.Style
+	// Nodes is the partition size; it must divide the matrix dimension.
+	// Zero selects all nodes of the machine.
+	Nodes int
+	// StridedLoads selects the nQ1 orientation of the transpose
+	// (strided loads, contiguous stores); default is 1Qn (contiguous
+	// loads, strided stores), the better choice on the T3D (§5.2).
+	StridedLoads bool
+	// BarrierNs is the per-communication-step synchronization cost.
+	// Negative disables; zero selects apps.DefaultBarrierNs.
+	BarrierNs float64
+}
+
+func (c *DistConfig) normalize() {
+	if c.Nodes <= 0 {
+		c.Nodes = c.M.Nodes()
+	}
+	if c.BarrierNs == 0 {
+		c.BarrierNs = apps.DefaultBarrierNs
+	}
+	if c.BarrierNs < 0 {
+		c.BarrierNs = 0
+	}
+}
+
+// DistributedTranspose transposes the n×n complex matrix a as a
+// row-block-distributed array on the simulated machine: every node
+// exchanges an (n/P)×(n/P) patch with every other node (personalized
+// all-to-all), with the memory access pattern of paper Figure 9. It
+// returns the transposed matrix and the simulated per-node
+// communication report.
+func DistributedTranspose(cfg DistConfig, a [][]complex128) ([][]complex128, apps.CommReport, error) {
+	cfg.normalize()
+	n := len(a)
+	var rep apps.CommReport
+	if n == 0 {
+		return nil, rep, fmt.Errorf("fft: empty matrix")
+	}
+	if len(a[0]) != n {
+		return nil, rep, fmt.Errorf("fft: matrix is not square")
+	}
+	p := cfg.Nodes
+	if n%p != 0 {
+		return nil, rep, fmt.Errorf("fft: %d nodes do not divide matrix size %d", p, n)
+	}
+
+	// The functional transpose.
+	out := Transpose(a)
+
+	// Communication cost: each node sends P-1 patches of (n/P)^2 complex
+	// elements (2 words each). Element stride in the destination is one
+	// matrix row of n complex = 2n words; any stride beyond the measured
+	// maximum behaves like it (§4.2), and the paper writes the 1024x1024
+	// transpose as 1Q1024.
+	patchWords := (n / p) * (n / p) * 2
+	if patchWords == 0 {
+		return out, rep, nil
+	}
+	// Each complex element is a dense 2-word run; consecutive patch
+	// elements land one destination row (2n words) apart.
+	x, y := pattern.Contig(), pattern.StridedBlock(2*n, 2)
+	if cfg.StridedLoads {
+		x, y = pattern.StridedBlock(2*n, 2), pattern.Contig()
+	}
+	res, err := comm.Run(cfg.M, cfg.Style, x, y, comm.Options{
+		Words:      patchWords,
+		Congestion: comm.CongestionFor(cfg.M, comm.AllToAllPattern),
+		Duplex:     true, // every node sends and receives
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Messages = p - 1
+	rep.PayloadBytes = res.PayloadBytes * int64(p-1)
+	rep.ElapsedNs = res.ElapsedNs*float64(p-1) + cfg.BarrierNs
+	return out, rep, nil
+}
+
+// Distributed2DFFT runs the full 2D FFT of paper §6.1.1: local row
+// FFTs, distributed transpose, local "column" FFTs, and a final
+// transpose back to the original orientation. The returned report
+// accumulates both transposes.
+func Distributed2DFFT(cfg DistConfig, a [][]complex128, inverse bool) ([][]complex128, apps.CommReport, error) {
+	cfg.normalize()
+	var rep apps.CommReport
+	work := make([][]complex128, len(a))
+	for i, row := range a {
+		work[i] = append([]complex128(nil), row...)
+	}
+	for _, row := range work {
+		if err := FFT(row, inverse); err != nil {
+			return nil, rep, err
+		}
+	}
+	t, r1, err := DistributedTranspose(cfg, work)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Add(r1)
+	for _, row := range t {
+		if err := FFT(row, inverse); err != nil {
+			return nil, rep, err
+		}
+	}
+	out, r2, err := DistributedTranspose(cfg, t)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Add(r2)
+	return out, rep, nil
+}

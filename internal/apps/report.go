@@ -1,0 +1,36 @@
+// Package apps holds shared types for the application kernels of paper
+// §6: the 2D-FFT transpose, the FEM iterative solver, and the SOR
+// stencil. Each kernel computes real results in Go while its
+// communication steps are timed on the simulated machines through
+// internal/comm, yielding the per-node communication throughput the
+// paper reports in Table 6.
+package apps
+
+// CommReport accumulates the simulated communication cost of an
+// application phase.
+type CommReport struct {
+	Messages     int
+	PayloadBytes int64
+	ElapsedNs    float64
+}
+
+// Add merges another report (e.g. a second phase) into r.
+func (r *CommReport) Add(o CommReport) {
+	r.Messages += o.Messages
+	r.PayloadBytes += o.PayloadBytes
+	r.ElapsedNs += o.ElapsedNs
+}
+
+// MBps returns the per-node communication throughput in MB/s, the
+// metric of the paper's Table 6.
+func (r CommReport) MBps() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.PayloadBytes) * 1e3 / r.ElapsedNs
+}
+
+// DefaultBarrierNs is the per-communication-step synchronization cost:
+// compiled communication steps are bracketed by synchronization
+// (paper §2.1 and [16]); this is the runtime's barrier latency.
+const DefaultBarrierNs = 30e3

@@ -1,0 +1,132 @@
+package sor
+
+import (
+	"math"
+	"testing"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+)
+
+func solve(t *testing.T, cfg Config, g int) *Result {
+	t.Helper()
+	res, err := Solve(cfg, HotPlate(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHotPlateBoundary(t *testing.T) {
+	g := HotPlate(8)
+	for j := 0; j < 8; j++ {
+		if g[0][j] != 100 {
+			t.Fatal("top boundary not hot")
+		}
+		if g[7][j] != 0 {
+			t.Fatal("bottom boundary not cold")
+		}
+	}
+}
+
+func TestSolveConverges(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 8, Tol: 1e-5}
+	res := solve(t, cfg, 32)
+	if res.MaxDelta > 1e-5 {
+		t.Fatalf("did not converge: delta %g after %d iters", res.MaxDelta, res.Iterations)
+	}
+	// Boundary rows untouched.
+	for j := 0; j < 32; j++ {
+		if res.Grid[0][j] != 100 || res.Grid[31][j] != 0 {
+			t.Fatal("boundary modified")
+		}
+	}
+}
+
+func TestSolutionSatisfiesLaplace(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 4, Tol: 1e-9, MaxIter: 100000}
+	res := solve(t, cfg, 16)
+	// Interior points equal the average of their neighbors (discrete
+	// harmonic function).
+	for i := 1; i < 15; i++ {
+		for j := 1; j < 15; j++ {
+			avg := (res.Grid[i-1][j] + res.Grid[i+1][j] + res.Grid[i][j-1] + res.Grid[i][j+1]) / 4
+			if math.Abs(res.Grid[i][j]-avg) > 1e-5 {
+				t.Fatalf("not harmonic at %d,%d: %g vs %g", i, j, res.Grid[i][j], avg)
+			}
+		}
+	}
+}
+
+func TestMaximumPrinciple(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 4, Tol: 1e-7}
+	res := solve(t, cfg, 24)
+	for i := range res.Grid {
+		for j := range res.Grid[i] {
+			v := res.Grid[i][j]
+			if v < -1e-9 || v > 100+1e-9 {
+				t.Fatalf("value %g at %d,%d violates the maximum principle", v, i, j)
+			}
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.Chained}
+	if _, err := Solve(cfg, HotPlate(2)); err == nil {
+		t.Error("tiny grid should fail")
+	}
+	if _, err := Solve(cfg, [][]float64{{1, 2}, {1}, {1, 2}}); err == nil {
+		t.Error("ragged grid should fail")
+	}
+	cfg.Nodes = 1000
+	if _, err := Solve(cfg, HotPlate(16)); err == nil {
+		t.Error("more nodes than rows should fail")
+	}
+}
+
+func TestCommReportAccumulates(t *testing.T) {
+	cfg := Config{M: machine.T3D(), Style: comm.BufferPacking, Nodes: 8, Tol: 1e-4}
+	res := solve(t, cfg, 32)
+	if res.Comm.Messages != 2*res.Iterations {
+		t.Errorf("messages = %d, want %d", res.Comm.Messages, 2*res.Iterations)
+	}
+	wantBytes := int64(res.Iterations) * 2 * 32 * 8
+	if res.Comm.PayloadBytes != wantBytes {
+		t.Errorf("payload = %d, want %d", res.Comm.PayloadBytes, wantBytes)
+	}
+}
+
+func TestChainedAndPackedCloseForContiguous(t *testing.T) {
+	// Table 6: SOR shows only a small chained advantage (26.2 vs 27.9
+	// MB/s) because contiguous shifts need no packing to begin with.
+	packed := Config{M: machine.T3D(), Style: comm.BufferPacking, Nodes: 64, Tol: 1e-4, MaxIter: 200}
+	chained := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 64, Tol: 1e-4, MaxIter: 200}
+	rp := solve(t, packed, 256)
+	rc := solve(t, chained, 256)
+	if rc.Comm.MBps() <= rp.Comm.MBps() {
+		t.Errorf("chained SOR %.1f <= packed %.1f MB/s", rc.Comm.MBps(), rp.Comm.MBps())
+	}
+	if ratio := rc.Comm.MBps() / rp.Comm.MBps(); ratio > 2.0 {
+		t.Errorf("chained/packed ratio %.2f implausibly large for contiguous shifts", ratio)
+	}
+}
+
+func TestOmegaOneIsGaussSeidel(t *testing.T) {
+	// omega = 1 must still converge (plain Gauss-Seidel).
+	cfg := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 4, Omega: 1.0, Tol: 1e-4}
+	res := solve(t, cfg, 16)
+	if res.MaxDelta > 1e-4 {
+		t.Errorf("Gauss-Seidel did not converge: %g", res.MaxDelta)
+	}
+}
+
+func TestSORFasterThanGaussSeidel(t *testing.T) {
+	gs := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 4, Omega: 1.0, Tol: 1e-5}
+	sor := Config{M: machine.T3D(), Style: comm.Chained, Nodes: 4, Omega: 1.7, Tol: 1e-5}
+	rGS := solve(t, gs, 32)
+	rSOR := solve(t, sor, 32)
+	if rSOR.Iterations >= rGS.Iterations {
+		t.Errorf("SOR (%d iters) not faster than Gauss-Seidel (%d)", rSOR.Iterations, rGS.Iterations)
+	}
+}

@@ -1,0 +1,31 @@
+package calibrate
+
+import (
+	"ctcomm/internal/machine"
+	"ctcomm/internal/model"
+	"ctcomm/internal/netsim"
+)
+
+// ToRateTable converts a measured calibration table plus the machine's
+// network configuration into a model rate table, so the copy-transfer
+// model can be evaluated against simulator-measured figures exactly as
+// the paper evaluates it against live-measured ones.
+func (t *Table) ToRateTable(m *machine.Machine) *model.RateTable {
+	rt := model.NewRateTable("calibrated/" + t.Machine)
+	for key, rate := range t.Rates {
+		rt.SetKey(key, rate)
+	}
+	for _, mode := range []netsim.Mode{netsim.DataOnly, netsim.AddrData} {
+		for _, c := range []float64{1, 2, 4} {
+			rt.SetNet(mode, c, m.Net.Rate(mode, c))
+		}
+	}
+	return rt
+}
+
+// RateTableFor measures machine m (with the default block size) and
+// returns the resulting model rate table. This is the one-call bridge
+// from "machine profile" to "model parameterization".
+func RateTableFor(m *machine.Machine) *model.RateTable {
+	return Measure(m, 0).ToRateTable(m)
+}

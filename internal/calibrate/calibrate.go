@@ -1,0 +1,137 @@
+// Package calibrate measures the throughput of every basic transfer on a
+// simulated machine, reproducing the methodology of paper §4 ("Measuring
+// throughput figures for basic transfers"): large-block transfers, rates
+// based on payload words only, index loads and addresses counted as
+// overhead. Its output parameterizes the copy-transfer model exactly as
+// the paper's live measurements parameterized theirs.
+package calibrate
+
+import (
+	"fmt"
+	"sort"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/xfer"
+)
+
+// DefaultWords is the block size used for calibration runs: 2^17 words
+// (1 MB), comfortably beyond every cache.
+const DefaultWords = 1 << 17
+
+// Table holds measured basic-transfer rates in MB/s, keyed by the
+// paper's notation ("1C64", "wS0", "0D1", ...).
+type Table struct {
+	Machine string
+	Rates   map[string]float64
+}
+
+// Key renders the canonical key for a basic transfer: read pattern,
+// operation letter, write pattern, e.g. "64C1".
+func Key(read pattern.Spec, op byte, write pattern.Spec) string {
+	return fmt.Sprintf("%s%c%s", read, op, write)
+}
+
+// Get returns the rate for a key and whether it was measured.
+func (t *Table) Get(key string) (float64, bool) {
+	r, ok := t.Rates[key]
+	return r, ok
+}
+
+// Keys returns the measured keys in sorted order.
+func (t *Table) Keys() []string {
+	ks := make([]string, 0, len(t.Rates))
+	for k := range t.Rates {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// memPatterns are the pattern classes of Table 1: contiguous, the
+// canonical large stride 64, indexed, and the paper's block-strided
+// variant (2-word runs, e.g. complex numbers; §2.2).
+var memPatterns = []pattern.Spec{
+	pattern.Contig(),
+	pattern.Strided(64),
+	pattern.StridedBlock(64, 2),
+	pattern.Indexed(),
+}
+
+// Measure runs every basic transfer the machine supports with the
+// pattern set of the paper's tables and returns the rate table. Each
+// measurement uses a fresh (cold) node, as the paper's microbenchmarks
+// operate far beyond cache capacity.
+func Measure(m *machine.Machine, words int) *Table {
+	if words <= 0 {
+		words = DefaultWords
+	}
+	t := &Table{Machine: m.Name, Rates: make(map[string]float64)}
+
+	// Local copies xCy for all pattern combinations (Table 1 and Fig 4).
+	for _, r := range memPatterns {
+		for _, w := range memPatterns {
+			n := m.NewNode(0)
+			res, err := xfer.Copy(n, r, w, words)
+			if err == nil {
+				t.Rates[Key(r, 'C', w)] = res.MBps()
+			}
+		}
+	}
+
+	// Send transfers xS0 and xF0 (Table 2).
+	for _, r := range memPatterns {
+		n := m.NewNode(0)
+		if res, err := xfer.LoadSend(n, r, words); err == nil {
+			t.Rates[Key(r, 'S', pattern.Fixed())] = res.MBps()
+		}
+		n = m.NewNode(0)
+		if res, err := xfer.FetchSend(n, r, words); err == nil {
+			t.Rates[Key(r, 'F', pattern.Fixed())] = res.MBps()
+		}
+	}
+
+	// Receive transfers 0Ry and 0Dy (Table 3).
+	for _, w := range memPatterns {
+		n := m.NewNode(0)
+		if res, err := xfer.RecvStore(n, w, words); err == nil {
+			t.Rates[Key(pattern.Fixed(), 'R', w)] = res.MBps()
+		}
+		n = m.NewNode(0)
+		if res, err := xfer.RecvDeposit(n, w, words); err == nil {
+			t.Rates[Key(pattern.Fixed(), 'D', w)] = res.MBps()
+		}
+	}
+	return t
+}
+
+// StrideSweep measures the local copy rate with one side strided at each
+// given stride and the other contiguous, for both directions
+// (reproduces Figure 4). Results are keyed load-side first:
+// sweep[stride] = {LoadStrided, StoreStrided} in MB/s.
+type SweepPoint struct {
+	Stride      int
+	LoadStrided float64 // sCy with strided loads, contiguous stores
+	StoreStride float64 // 1Cs with contiguous loads, strided stores
+}
+
+// StrideSweep runs the Figure 4 experiment on machine m.
+func StrideSweep(m *machine.Machine, strides []int, words int) []SweepPoint {
+	if words <= 0 {
+		words = DefaultWords
+	}
+	out := make([]SweepPoint, 0, len(strides))
+	for _, s := range strides {
+		sp := SweepPoint{Stride: s}
+		n := m.NewNode(0)
+		if res, err := xfer.Copy(n, pattern.Strided(s), pattern.Contig(), words); err == nil {
+			sp.LoadStrided = res.MBps()
+		}
+		n = m.NewNode(0)
+		if res, err := xfer.Copy(n, pattern.Contig(), pattern.Strided(s), words); err == nil {
+			sp.StoreStride = res.MBps()
+		}
+		out = append(out, sp)
+	}
+	return out
+}

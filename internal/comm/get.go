@@ -1,0 +1,114 @@
+package comm
+
+import (
+	"fmt"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+)
+
+// Put/get asymmetry (paper §3.5, footnote 2): the paper's operations
+// are remote stores ("puts"): address and data travel together, and the
+// deposit engine at the destination stores them in the background. The
+// hardware can also "pull or withdraw data from the memory of the
+// source node" — a remote load, or get — but "the latency is higher
+// since address information has to travel first to the node that holds
+// the data". RunGet models the two 1995 get flavors:
+//
+//   - Block gets of contiguous data send one descriptor and let the
+//     remote side stream the block back: they run at the put rate minus
+//     a startup round trip.
+//   - Word-wise gets (strided or indexed data) are remote loads: the
+//     requesting processor can keep only a small window of them
+//     outstanding, so the sustained rate is capped at
+//     window × 8 bytes / round-trip — the reason the paper "emphasizes
+//     the deposit aspect".
+
+// GetOptions extends Options for pull-style transfers.
+type GetOptions struct {
+	Options
+	// Hops is the route length between requester and owner; zero
+	// selects the machine's average route length.
+	Hops int
+	// RequestWindow is how many word-granularity remote loads the
+	// requesting processor keeps outstanding. Zero selects 1 (blocking
+	// remote loads, what 1995 compilers emitted).
+	RequestWindow int
+}
+
+// getRTT estimates the round trip of one remote load: wire hops both
+// ways, the remote memory access, the requester's bus round trip and
+// the network-interface port crossings.
+func getRTT(m *machine.Machine, hops int) float64 {
+	wire := 2 * float64(hops) * m.Net.HopLatencyNs
+	remote := m.Mem.RowMissNs + m.Mem.WordNs
+	local := m.Mem.BusOverheadNs + m.NI.PortStoreNs + m.NI.PortLoadNs
+	return wire + remote + local
+}
+
+// RunGet simulates the pull (remote load) variant of the operation: the
+// destination node fetches pattern x data from the source and scatters
+// it with pattern y.
+func RunGet(m *machine.Machine, style Style, x, y pattern.Spec, opt GetOptions) (Result, error) {
+	if opt.RequestWindow <= 0 {
+		opt.RequestWindow = 1
+	}
+	if opt.Hops <= 0 {
+		opt.Hops = avgHops(m)
+	}
+	res, err := Run(m, style, x, y, opt.Options)
+	if err != nil {
+		return Result{}, err
+	}
+	rtt := getRTT(m, opt.Hops)
+
+	if x.Kind() == pattern.KindContig {
+		// Block get: one descriptor, then the remote side streams at the
+		// put rate; only the startup round trip is lost.
+		res.ElapsedNs += rtt
+		return res, nil
+	}
+
+	// Word-wise get: the request window caps the sustained rate.
+	capMBps := float64(opt.RequestWindow) * pattern.WordBytes * 1e3 / rtt
+	if lim := float64(res.PayloadBytes) * 1e3 / capMBps; res.ElapsedNs < lim {
+		res.ElapsedNs = lim
+	}
+	res.ElapsedNs += rtt // pipeline fill
+	return res, nil
+}
+
+// avgHops estimates the mean route length of the machine's topology by
+// sampling all routes from node 0.
+func avgHops(m *machine.Machine) int {
+	n := m.Topo.Nodes()
+	if n <= 1 {
+		return 1
+	}
+	total := 0
+	for dst := 1; dst < n; dst++ {
+		total += len(m.Topo.Route(0, dst))
+	}
+	h := total / (n - 1)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// PutGetComparison runs the same operation as a put and as a get and
+// returns both rates; a convenience for the asymmetry experiments.
+func PutGetComparison(m *machine.Machine, style Style, x, y pattern.Spec, words int) (put, get float64, err error) {
+	p, err := Run(m, style, x, y, Options{Words: words})
+	if err != nil {
+		return 0, 0, err
+	}
+	g, err := RunGet(m, style, x, y, GetOptions{Options: Options{Words: words}})
+	if err != nil {
+		return 0, 0, err
+	}
+	if g.MBps() > p.MBps() {
+		return p.MBps(), g.MBps(), fmt.Errorf("comm: get %.1f outran put %.1f, model violated", g.MBps(), p.MBps())
+	}
+	return p.MBps(), g.MBps(), nil
+}

@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"testing"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+)
+
+func TestGetNeverBeatsPut(t *testing.T) {
+	for _, m := range machine.Profiles() {
+		for _, words := range []int{64, 1024, 1 << 15} {
+			put, get, err := PutGetComparison(m, Chained, pattern.Contig(), pattern.Strided(64), words)
+			if err != nil {
+				t.Fatalf("%s words=%d: %v", m.Name, words, err)
+			}
+			if get > put {
+				t.Errorf("%s words=%d: get %.1f > put %.1f", m.Name, words, get, put)
+			}
+		}
+	}
+}
+
+func TestBlockGetApproachesPutWithSize(t *testing.T) {
+	// Contiguous (block) gets send one descriptor and stream back: only
+	// the startup round trip separates them from puts, so the ratio
+	// approaches 1 as the block grows.
+	m := machine.T3D()
+	ratio := func(words int) float64 {
+		put, get, err := PutGetComparison(m, Chained, pattern.Contig(), pattern.Contig(), words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return get / put
+	}
+	small := ratio(32)
+	large := ratio(1 << 15)
+	if small >= large {
+		t.Errorf("block get/put ratio should improve with size: small %.3f, large %.3f", small, large)
+	}
+	if large < 0.98 {
+		t.Errorf("large block gets should approach puts, got ratio %.3f", large)
+	}
+}
+
+func TestWordWiseGetPlateausBelowPut(t *testing.T) {
+	// Strided and indexed gets are blocking remote loads: their
+	// sustained rate is capped by the round trip, well below the put
+	// rate — the reason the paper emphasizes the deposit direction.
+	m := machine.T3D()
+	put, get, err := PutGetComparison(m, Chained, pattern.Indexed(), pattern.Indexed(), 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := get / put
+	if ratio < 0.3 || ratio > 0.95 {
+		t.Errorf("word-wise get/put ratio %.3f outside the plausible plateau", ratio)
+	}
+	// Absolute get rate still grows with size (startup amortizes).
+	_, getSmall, err := PutGetComparison(m, Chained, pattern.Indexed(), pattern.Indexed(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getSmall >= get {
+		t.Errorf("get rate should grow with size: %.1f (32w) vs %.1f (32Kw)", getSmall, get)
+	}
+}
+
+func TestGetContiguousUsesBlockDescriptor(t *testing.T) {
+	// A contiguous get sends one descriptor, not per-word addresses, so
+	// its penalty is smaller than an indexed get of the same size.
+	m := machine.T3D()
+	const words = 4096
+	putC, getC, err := PutGetComparison(m, Chained, pattern.Contig(), pattern.Contig(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putW, getW, err := PutGetComparison(m, Chained, pattern.Indexed(), pattern.Indexed(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossC := 1 - getC/putC
+	lossW := 1 - getW/putW
+	if lossC >= lossW {
+		t.Errorf("contiguous get loss %.3f should be below indexed loss %.3f", lossC, lossW)
+	}
+}
+
+func TestRunGetDefaults(t *testing.T) {
+	m := machine.Paragon()
+	res, err := RunGet(m, Chained, pattern.Contig(), pattern.Contig(), GetOptions{
+		Options: Options{Words: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps() <= 0 {
+		t.Error("get rate must be positive")
+	}
+}
+
+func TestRunGetPropagatesErrors(t *testing.T) {
+	m := machine.Paragon()
+	m.Deposit.Present = false
+	m.CoProcessor = false
+	if _, err := RunGet(m, Chained, pattern.Contig(), pattern.Strided(8), GetOptions{
+		Options: Options{Words: 64},
+	}); err == nil {
+		t.Error("impossible chain should fail for gets too")
+	}
+}
+
+func TestPutGetComparisonPropagatesErrors(t *testing.T) {
+	m := machine.Paragon()
+	m.Deposit.Present = false
+	m.CoProcessor = false
+	if _, _, err := PutGetComparison(m, Chained, pattern.Contig(), pattern.Strided(4), 64); err == nil {
+		t.Error("impossible chain should propagate")
+	}
+}

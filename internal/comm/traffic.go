@@ -1,0 +1,60 @@
+package comm
+
+import (
+	"ctcomm/internal/machine"
+	"ctcomm/internal/netsim"
+)
+
+// TrafficKind names the communication patterns of the paper's
+// experiments.
+type TrafficKind int
+
+const (
+	// Pairwise is a single point-to-point transfer between neighbors.
+	Pairwise TrafficKind = iota
+	// ShiftPattern is the cyclic shift (next-neighbor) exchange used by
+	// SOR overlap regions.
+	ShiftPattern
+	// AllToAllPattern is the personalized all-to-all of transposes.
+	AllToAllPattern
+)
+
+// String names the traffic kind.
+func (k TrafficKind) String() string {
+	switch k {
+	case Pairwise:
+		return "pairwise"
+	case ShiftPattern:
+		return "shift"
+	case AllToAllPattern:
+		return "all-to-all"
+	default:
+		return "unknown"
+	}
+}
+
+// CongestionFor computes the congestion factor of a traffic kind on the
+// machine's topology, including its shared-port effect. The byte count
+// per flow is irrelevant for the factor (flows are uniform).
+func CongestionFor(m *machine.Machine, kind TrafficKind) float64 {
+	nodes := m.Topo.Nodes()
+	var flows []netsim.Flow
+	switch kind {
+	case Pairwise:
+		flows = []netsim.Flow{{Src: 0, Dst: 1, Bytes: 1}}
+	case ShiftPattern:
+		flows = netsim.Shift(nodes, 1, 1)
+	case AllToAllPattern:
+		// The paper notes dense patterns "can be scheduled with minimal
+		// congestion" (§4.3, citing the AAPC scheduling work): phases of
+		// disjoint pairwise exchanges keep the per-phase link load at the
+		// shift level, so the effective factor is governed by the shared
+		// ports, not by naive simultaneous all-to-all routing.
+		flows = netsim.Shift(nodes, 1, 1)
+	}
+	c := netsim.CongestionOf(m.Topo, flows, m.Net.NodesPerPort)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,233 @@
+package datatype
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+)
+
+func TestContiguousClassifies(t *testing.T) {
+	d, err := Contiguous(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec() != pattern.Contig() || d.Words() != 16 || d.Extent() != 16 {
+		t.Errorf("contiguous: %v %d %d", d.Spec(), d.Words(), d.Extent())
+	}
+	if _, err := Contiguous(0); err == nil {
+		t.Error("zero count should fail")
+	}
+}
+
+func TestVectorClassifies(t *testing.T) {
+	// Single-word blocks -> plain strided.
+	d, err := Vector(16, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec() != pattern.Strided(64) {
+		t.Errorf("vector(16,1,64) = %v, want stride 64", d.Spec())
+	}
+	// Two-word blocks -> block-strided (the complex-number case).
+	d, err = Vector(16, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec() != pattern.StridedBlock(64, 2) {
+		t.Errorf("vector(16,2,64) = %v, want 64x2", d.Spec())
+	}
+	// blocklen == stride collapses to contiguous.
+	d, err = Vector(4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec() != pattern.Contig() {
+		t.Errorf("vector(4,8,8) = %v, want contiguous", d.Spec())
+	}
+	if _, err := Vector(4, 8, 4); err == nil {
+		t.Error("stride < blocklen should fail")
+	}
+}
+
+func TestIndexedClassifies(t *testing.T) {
+	d, err := Indexed([]int{1, 1, 1}, []int64{0, 10, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec() != pattern.Indexed() {
+		t.Errorf("irregular displacements = %v, want indexed", d.Spec())
+	}
+	// Regular displacements are recognized as strided.
+	d, err = Indexed([]int{1, 1, 1}, []int64{0, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Spec() != pattern.Strided(8) {
+		t.Errorf("regular displacements = %v, want stride 8", d.Spec())
+	}
+	if _, err := Indexed([]int{1}, []int64{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Indexed([]int{2, 2}, []int64{0, 1}); err == nil {
+		t.Error("overlap should fail")
+	}
+	if _, err := Indexed([]int{1}, []int64{-1}); err == nil {
+		t.Error("negative displacement should fail")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	d, err := Vector(8, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, d.Extent())
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	packed, err := d.Pack(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != d.Words() {
+		t.Fatalf("packed %d words", len(packed))
+	}
+	out := make([]float64, d.Extent())
+	if err := d.Unpack(packed, out); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range d.Offsets() {
+		if out[o] != buf[o] {
+			t.Fatalf("round trip broke at offset %d", o)
+		}
+	}
+}
+
+func TestPackBoundsChecked(t *testing.T) {
+	d, _ := Contiguous(8)
+	if _, err := d.Pack(make([]float64, 4)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	if err := d.Unpack(make([]float64, 8), make([]float64, 4)); err == nil {
+		t.Error("short unpack buffer should fail")
+	}
+	if err := d.Unpack(make([]float64, 3), make([]float64, 8)); err == nil {
+		t.Error("wrong data length should fail")
+	}
+}
+
+func TestTransferMatrixColumn(t *testing.T) {
+	// Send a matrix column (vector datatype) into a contiguous buffer:
+	// the classic MPI derived-datatype example, and exactly the
+	// paper's nQ1 transpose piece.
+	const n = 8
+	col, err := Vector(n, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Contiguous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := make([]float64, n*n)
+	for i := range matrix {
+		matrix[i] = float64(i)
+	}
+	out := make([]float64, n)
+	if err := Transfer(col, dst, matrix, out); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		if out[r] != float64(r*n) {
+			t.Fatalf("column element %d = %v, want %v", r, out[r], float64(r*n))
+		}
+	}
+	// Type mismatch is rejected.
+	short, _ := Contiguous(n - 1)
+	if err := Transfer(col, short, matrix, out); err == nil {
+		t.Error("signature mismatch should fail")
+	}
+}
+
+func TestSendTimesLikeTheUnderlyingPatterns(t *testing.T) {
+	m := machine.T3D()
+	col, _ := Vector(1024, 1, 1024)
+	dst, _ := Contiguous(1024)
+	viaDT, err := Send(m, comm.Chained, col, dst, comm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := comm.Run(m, comm.Chained, pattern.Strided(1024), pattern.Contig(),
+		comm.Options{Words: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaDT.ElapsedNs != direct.ElapsedNs {
+		t.Errorf("datatype send %.0f ns != pattern send %.0f ns", viaDT.ElapsedNs, direct.ElapsedNs)
+	}
+	if _, err := Send(m, comm.Chained, col, nil2(), comm.Options{}); err == nil {
+		t.Error("mismatched types should fail")
+	}
+}
+
+func nil2() *Datatype {
+	d, _ := Contiguous(8)
+	return d
+}
+
+func TestChainedBeatsPackedForVectorTypes(t *testing.T) {
+	// The paper's conclusion in MPI terms: sending a strided derived
+	// datatype chained beats the library's pack-and-ship path.
+	m := machine.T3D()
+	vec, _ := Vector(1<<12, 1, 64)
+	dst, _ := Contiguous(1 << 12)
+	packed, err := Send(m, comm.BufferPacking, vec, dst, comm.Options{Duplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := Send(m, comm.Chained, vec, dst, comm.Options{Duplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.MBps() <= packed.MBps() {
+		t.Errorf("chained vector send %.1f <= packed %.1f MB/s", chained.MBps(), packed.MBps())
+	}
+}
+
+// Property: pack/unpack is the identity on the datatype's footprint for
+// arbitrary vector shapes.
+func TestPackUnpackIdentityProperty(t *testing.T) {
+	f := func(cRaw, bRaw, sRaw uint8) bool {
+		count := int(cRaw)%20 + 1
+		block := int(bRaw)%4 + 1
+		stride := block + int(sRaw)%8
+		d, err := Vector(count, block, stride)
+		if err != nil {
+			return false
+		}
+		buf := make([]float64, d.Extent())
+		for i := range buf {
+			buf[i] = float64(i * 3)
+		}
+		packed, err := d.Pack(buf)
+		if err != nil {
+			return false
+		}
+		out := make([]float64, d.Extent())
+		if err := d.Unpack(packed, out); err != nil {
+			return false
+		}
+		for _, o := range d.Offsets() {
+			if out[o] != buf[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

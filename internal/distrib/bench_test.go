@@ -1,0 +1,26 @@
+package distrib
+
+import "testing"
+
+func BenchmarkPlanBlockToCyclic(b *testing.B) {
+	src, _ := NewBlock(1<<16, 64)
+	dst, _ := NewCyclic(1<<16, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	offs := make([]int64, 4096)
+	for i := range offs {
+		offs[i] = int64(i) * 16
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Classify(offs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

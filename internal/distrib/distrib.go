@@ -1,0 +1,215 @@
+// Package distrib implements the compiler view of communication
+// (Stricker/Gross, ISCA 1995, §2.1-2.2): HPF-style data distributions —
+// block, cyclic, block-cyclic — and the planning of the data transfers
+// an array redistribution demands. Given source and destination
+// distributions, Plan computes, for every processor pair, exactly which
+// elements move and with which memory access pattern on each side
+// (contiguous, strided, or indexed), which is precisely the information
+// a parallelizing compiler feeds into the communication operation xQy.
+package distrib
+
+import (
+	"fmt"
+)
+
+// Kind enumerates the standard HPF distribution kinds (§2.1: "HPF
+// focuses on block-cyclic distribution of arrays, where the two
+// variants, the block and cyclic, are the most common").
+type Kind int
+
+const (
+	// BlockKind assigns ceil(n/p) consecutive elements per processor.
+	BlockKind Kind = iota
+	// CyclicKind deals single elements round-robin.
+	CyclicKind
+	// BlockCyclicKind deals blocks of BlockSize elements round-robin.
+	BlockCyclicKind
+	// IndexedKind distributes via an explicit owner array (irregular
+	// distributions, §2.1's index-array case).
+	IndexedKind
+)
+
+// String names the kind in HPF notation.
+func (k Kind) String() string {
+	switch k {
+	case BlockKind:
+		return "BLOCK"
+	case CyclicKind:
+		return "CYCLIC"
+	case BlockCyclicKind:
+		return "CYCLIC(b)"
+	case IndexedKind:
+		return "INDEXED"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Distribution maps the indices of a one-dimensional array of N
+// elements onto P processors.
+type Distribution struct {
+	N, P  int
+	Kind  Kind
+	Block int   // block size for BlockCyclicKind
+	Owner []int // explicit owners for IndexedKind (len N)
+}
+
+// NewBlock returns the BLOCK distribution of n elements over p
+// processors.
+func NewBlock(n, p int) (Distribution, error) {
+	if err := checkNP(n, p); err != nil {
+		return Distribution{}, err
+	}
+	return Distribution{N: n, P: p, Kind: BlockKind}, nil
+}
+
+// NewCyclic returns the CYCLIC distribution.
+func NewCyclic(n, p int) (Distribution, error) {
+	if err := checkNP(n, p); err != nil {
+		return Distribution{}, err
+	}
+	return Distribution{N: n, P: p, Kind: CyclicKind}, nil
+}
+
+// NewBlockCyclic returns the CYCLIC(b) distribution.
+func NewBlockCyclic(n, p, b int) (Distribution, error) {
+	if err := checkNP(n, p); err != nil {
+		return Distribution{}, err
+	}
+	if b < 1 {
+		return Distribution{}, fmt.Errorf("distrib: block size %d < 1", b)
+	}
+	if b == 1 {
+		return Distribution{N: n, P: p, Kind: CyclicKind}, nil
+	}
+	return Distribution{N: n, P: p, Kind: BlockCyclicKind, Block: b}, nil
+}
+
+// NewIndexed returns an irregular distribution from an explicit owner
+// array (owner[i] is the processor owning element i).
+func NewIndexed(owner []int, p int) (Distribution, error) {
+	if err := checkNP(len(owner), p); err != nil {
+		return Distribution{}, err
+	}
+	for i, o := range owner {
+		if o < 0 || o >= p {
+			return Distribution{}, fmt.Errorf("distrib: owner[%d] = %d out of range", i, o)
+		}
+	}
+	return Distribution{N: len(owner), P: p, Kind: IndexedKind, Owner: owner}, nil
+}
+
+func checkNP(n, p int) error {
+	if n < 1 {
+		return fmt.Errorf("distrib: array size %d < 1", n)
+	}
+	if p < 1 {
+		return fmt.Errorf("distrib: processor count %d < 1", p)
+	}
+	return nil
+}
+
+// blockLen returns the BLOCK distribution's per-processor chunk.
+func (d Distribution) blockLen() int { return (d.N + d.P - 1) / d.P }
+
+// OwnerOf returns the processor owning global index i.
+func (d Distribution) OwnerOf(i int) int {
+	switch d.Kind {
+	case BlockKind:
+		o := i / d.blockLen()
+		if o >= d.P {
+			o = d.P - 1
+		}
+		return o
+	case CyclicKind:
+		return i % d.P
+	case BlockCyclicKind:
+		return (i / d.Block) % d.P
+	case IndexedKind:
+		return d.Owner[i]
+	default:
+		panic("distrib: unknown kind")
+	}
+}
+
+// LocalOffset returns the position of global index i within its owner's
+// local array.
+func (d Distribution) LocalOffset(i int) int {
+	switch d.Kind {
+	case BlockKind:
+		return i % d.blockLen()
+	case CyclicKind:
+		return i / d.P
+	case BlockCyclicKind:
+		brick := i / d.Block // global block number
+		round := brick / d.P // how many full deals before it
+		return round*d.Block + i%d.Block
+	case IndexedKind:
+		// Position among the same-owner elements preceding i.
+		off := 0
+		own := d.Owner[i]
+		for j := 0; j < i; j++ {
+			if d.Owner[j] == own {
+				off++
+			}
+		}
+		return off
+	default:
+		panic("distrib: unknown kind")
+	}
+}
+
+// LocalSize returns how many elements processor p owns.
+func (d Distribution) LocalSize(p int) int {
+	switch d.Kind {
+	case BlockKind:
+		b := d.blockLen()
+		lo := p * b
+		if lo >= d.N {
+			return 0
+		}
+		hi := lo + b
+		if hi > d.N {
+			hi = d.N
+		}
+		return hi - lo
+	case CyclicKind:
+		return (d.N - p + d.P - 1) / d.P
+	case BlockCyclicKind:
+		size := 0
+		for start := p * d.Block; start < d.N; start += d.P * d.Block {
+			end := start + d.Block
+			if end > d.N {
+				end = d.N
+			}
+			size += end - start
+		}
+		return size
+	case IndexedKind:
+		size := 0
+		for _, o := range d.Owner {
+			if o == p {
+				size++
+			}
+		}
+		return size
+	default:
+		panic("distrib: unknown kind")
+	}
+}
+
+// String renders the distribution in HPF-flavored notation.
+func (d Distribution) String() string {
+	switch d.Kind {
+	case BlockCyclicKind:
+		return fmt.Sprintf("CYCLIC(%d) n=%d p=%d", d.Block, d.N, d.P)
+	default:
+		return fmt.Sprintf("%s n=%d p=%d", d.Kind, d.N, d.P)
+	}
+}
+
+// Compatible reports whether two distributions describe the same array
+// over the same machine size.
+func (d Distribution) Compatible(o Distribution) bool {
+	return d.N == o.N && d.P == o.P
+}

@@ -1,0 +1,328 @@
+package distrib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctcomm/internal/pattern"
+)
+
+func mustBlock(t *testing.T, n, p int) Distribution {
+	t.Helper()
+	d, err := NewBlock(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustCyclic(t *testing.T, n, p int) Distribution {
+	t.Helper()
+	d, err := NewCyclic(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustBC(t *testing.T, n, p, b int) Distribution {
+	t.Helper()
+	d, err := NewBlockCyclic(n, p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewBlock(0, 4); err == nil {
+		t.Error("empty array should fail")
+	}
+	if _, err := NewBlock(8, 0); err == nil {
+		t.Error("zero processors should fail")
+	}
+	if _, err := NewBlockCyclic(8, 2, 0); err == nil {
+		t.Error("zero block size should fail")
+	}
+	if _, err := NewIndexed([]int{0, 5}, 2); err == nil {
+		t.Error("out-of-range owner should fail")
+	}
+}
+
+func TestBlockCyclicOfOneIsCyclic(t *testing.T) {
+	d := mustBC(t, 16, 4, 1)
+	if d.Kind != CyclicKind {
+		t.Errorf("CYCLIC(1) should normalize to CYCLIC, got %v", d.Kind)
+	}
+}
+
+func TestBlockOwnership(t *testing.T) {
+	d := mustBlock(t, 12, 3) // blocks of 4
+	wantOwners := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	for i, w := range wantOwners {
+		if got := d.OwnerOf(i); got != w {
+			t.Errorf("owner(%d) = %d, want %d", i, got, w)
+		}
+		if got := d.LocalOffset(i); got != i%4 {
+			t.Errorf("offset(%d) = %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+func TestCyclicOwnership(t *testing.T) {
+	d := mustCyclic(t, 10, 3)
+	for i := 0; i < 10; i++ {
+		if got := d.OwnerOf(i); got != i%3 {
+			t.Errorf("owner(%d) = %d, want %d", i, got, i%3)
+		}
+		if got := d.LocalOffset(i); got != i/3 {
+			t.Errorf("offset(%d) = %d, want %d", i, got, i/3)
+		}
+	}
+}
+
+func TestBlockCyclicOwnership(t *testing.T) {
+	d := mustBC(t, 16, 2, 4)
+	// Blocks: [0-3]->0, [4-7]->1, [8-11]->0, [12-15]->1.
+	wantOwner := []int{0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1}
+	wantOff := []int{0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7, 4, 5, 6, 7}
+	for i := range wantOwner {
+		if got := d.OwnerOf(i); got != wantOwner[i] {
+			t.Errorf("owner(%d) = %d, want %d", i, got, wantOwner[i])
+		}
+		if got := d.LocalOffset(i); got != wantOff[i] {
+			t.Errorf("offset(%d) = %d, want %d", i, got, wantOff[i])
+		}
+	}
+}
+
+func TestIndexedOwnership(t *testing.T) {
+	d, err := NewIndexed([]int{1, 0, 1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OwnerOf(2) != 1 || d.LocalOffset(2) != 1 {
+		t.Errorf("indexed owner/offset wrong: %d/%d", d.OwnerOf(2), d.LocalOffset(2))
+	}
+	if d.LocalSize(0) != 2 || d.LocalSize(1) != 3 {
+		t.Errorf("sizes = %d/%d", d.LocalSize(0), d.LocalSize(1))
+	}
+}
+
+// Property: for every distribution kind, local sizes sum to N and the
+// (owner, offset) mapping is a bijection.
+func TestDistributionBijectionProperty(t *testing.T) {
+	f := func(nRaw, pRaw, bRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%8 + 1
+		b := int(bRaw)%7 + 1
+		dists := []Distribution{}
+		if d, err := NewBlock(n, p); err == nil {
+			dists = append(dists, d)
+		}
+		if d, err := NewCyclic(n, p); err == nil {
+			dists = append(dists, d)
+		}
+		if d, err := NewBlockCyclic(n, p, b); err == nil {
+			dists = append(dists, d)
+		}
+		for _, d := range dists {
+			total := 0
+			for q := 0; q < p; q++ {
+				total += d.LocalSize(q)
+			}
+			if total != n {
+				return false
+			}
+			seen := map[[2]int]bool{}
+			for i := 0; i < n; i++ {
+				o := d.OwnerOf(i)
+				off := d.LocalOffset(i)
+				if o < 0 || o >= p || off < 0 || off >= d.LocalSize(o) {
+					return false
+				}
+				k := [2]int{o, off}
+				if seen[k] {
+					return false
+				}
+				seen[k] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		offs []int64
+		want pattern.Spec
+	}{
+		{[]int64{5}, pattern.Contig()},
+		{[]int64{0, 1, 2, 3}, pattern.Contig()},
+		{[]int64{0, 4, 8, 12}, pattern.Strided(4)},
+		{[]int64{0, 1, 4, 5, 8, 9}, pattern.StridedBlock(4, 2)},
+		{[]int64{0, 1, 3, 4, 8}, pattern.Indexed()},
+		{[]int64{3, 2, 1}, pattern.Indexed()},
+	}
+	for _, c := range cases {
+		got, err := Classify(c.offs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.offs, got, c.want)
+		}
+	}
+	if _, err := Classify(nil); err == nil {
+		t.Error("empty classify should fail")
+	}
+}
+
+func TestPlanBlockToCyclicPatterns(t *testing.T) {
+	// Redistributing BLOCK -> CYCLIC turns contiguous source runs into
+	// strided destination stores (paper §2.2: cyclic distributions
+	// produce strided patterns).
+	src := mustBlock(t, 64, 4)
+	dst := mustCyclic(t, 64, 4)
+	plan, err := Plan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 4*3 {
+		t.Fatalf("plan has %d transfers, want 12", len(plan))
+	}
+	for _, tr := range plan {
+		if tr.Src.Kind() != pattern.KindStrided {
+			t.Errorf("%d->%d: src pattern %v, want strided", tr.From, tr.To, tr.Src)
+		}
+		if tr.Dst.Kind() != pattern.KindContig {
+			t.Errorf("%d->%d: dst pattern %v, want contiguous", tr.From, tr.To, tr.Dst)
+		}
+		if tr.Words() != 4 {
+			t.Errorf("%d->%d: %d words, want 4", tr.From, tr.To, tr.Words())
+		}
+	}
+}
+
+func TestPlanSameDistributionIsEmpty(t *testing.T) {
+	d := mustBlock(t, 64, 4)
+	plan, err := Plan(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 0 {
+		t.Errorf("self plan has %d transfers", len(plan))
+	}
+}
+
+func TestPlanIncompatible(t *testing.T) {
+	a := mustBlock(t, 64, 4)
+	b := mustBlock(t, 32, 4)
+	if _, err := Plan(a, b); err == nil {
+		t.Error("incompatible plan should fail")
+	}
+}
+
+func TestPlanIsSorted(t *testing.T) {
+	src := mustBlock(t, 128, 8)
+	dst := mustCyclic(t, 128, 8)
+	plan, err := Plan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plan); i++ {
+		a, b := plan[i-1], plan[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("plan not sorted by (From, To)")
+		}
+	}
+}
+
+func TestLocalizeGlobalizeRoundTrip(t *testing.T) {
+	for _, d := range []Distribution{
+		mustBlock(t, 37, 5), mustCyclic(t, 37, 5), mustBC(t, 37, 5, 3),
+	} {
+		global := make([]float64, d.N)
+		for i := range global {
+			global[i] = float64(i) * 1.5
+		}
+		local, err := Localize(d, global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Globalize(d, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range global {
+			if back[i] != global[i] {
+				t.Fatalf("%v: round trip broke at %d", d, i)
+			}
+		}
+	}
+}
+
+// The central property: Apply(plan) really redistributes the data.
+func TestPlanApplyCorrectProperty(t *testing.T) {
+	f := func(nRaw, pRaw, bRaw uint8) bool {
+		n := int(nRaw)%150 + 2
+		p := int(pRaw)%6 + 1
+		b := int(bRaw)%5 + 1
+		src, err := NewBlock(n, p)
+		if err != nil {
+			return false
+		}
+		dst, err := NewBlockCyclic(n, p, b)
+		if err != nil {
+			return false
+		}
+		global := make([]float64, n)
+		for i := range global {
+			global[i] = float64(i + 1)
+		}
+		srcLocal, err := Localize(src, global)
+		if err != nil {
+			return false
+		}
+		plan, err := Plan(src, dst)
+		if err != nil {
+			return false
+		}
+		moved, err := Apply(src, dst, plan, srcLocal)
+		if err != nil {
+			return false
+		}
+		want, err := Localize(dst, global)
+		if err != nil {
+			return false
+		}
+		for q := range want {
+			if len(moved[q]) != len(want[q]) {
+				return false
+			}
+			for k := range want[q] {
+				if moved[q][k] != want[q][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	if mustBlock(t, 8, 2).String() == "" || mustBC(t, 8, 2, 2).String() == "" {
+		t.Error("empty String()")
+	}
+	for _, k := range []Kind{BlockKind, CyclicKind, BlockCyclicKind, IndexedKind} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package distrib
+
+import (
+	"testing"
+
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+)
+
+func planBlockCyclic(t *testing.T, n, p int) []Transfer {
+	t.Helper()
+	src, err := NewBlock(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewCyclic(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestExecuteEmptyPlan(t *testing.T) {
+	rep, err := Execute(machine.T3D(), nil, ExecuteOptions{Style: comm.Chained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 0 || rep.PayloadBytes != 0 {
+		t.Errorf("empty plan produced traffic: %+v", rep)
+	}
+}
+
+func TestExecuteReportsTraffic(t *testing.T) {
+	plan := planBlockCyclic(t, 4096, 16)
+	rep, err := Execute(machine.T3D(), plan, ExecuteOptions{Style: comm.BufferPacking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != len(plan) {
+		t.Errorf("messages = %d, want %d", rep.Messages, len(plan))
+	}
+	if rep.MBps() <= 0 {
+		t.Error("rate must be positive")
+	}
+}
+
+func TestExecuteChainedBeatsPackedForBlockCyclic(t *testing.T) {
+	// The BLOCK <-> CYCLIC redistribution is the canonical strided
+	// workload (paper §2.2); chaining must win on the T3D.
+	plan := planBlockCyclic(t, 1<<15, 16)
+	m := machine.T3D()
+	packed, err := Execute(m, plan, ExecuteOptions{Style: comm.BufferPacking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := Execute(m, plan, ExecuteOptions{Style: comm.Chained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.MBps() <= packed.MBps() {
+		t.Errorf("chained %.1f <= packed %.1f MB/s", chained.MBps(), packed.MBps())
+	}
+}
+
+func TestExecuteChainedFallsBackOnParagon(t *testing.T) {
+	// The Paragon co-processor can chain; with it disabled, the chained
+	// style must silently fall back to buffer packing per transfer
+	// (the DMA deposit cannot parse address-data pairs).
+	m := machine.Paragon()
+	m.CoProcessor = false
+	plan := planBlockCyclic(t, 4096, 16)
+	chained, err := Execute(m, plan, ExecuteOptions{Style: comm.Chained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Execute(m, plan, ExecuteOptions{Style: comm.BufferPacking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := chained.MBps() - packed.MBps(); diff > 0.01 || diff < -0.01 {
+		t.Errorf("fallback chained %.2f != packed %.2f", chained.MBps(), packed.MBps())
+	}
+}
+
+func TestExecuteBarrierOptions(t *testing.T) {
+	plan := planBlockCyclic(t, 1024, 4)
+	m := machine.T3D()
+	with, err := Execute(m, plan, ExecuteOptions{Style: comm.Chained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Execute(m, plan, ExecuteOptions{Style: comm.Chained, BarrierNs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.ElapsedNs <= without.ElapsedNs {
+		t.Error("barrier should add time")
+	}
+}

@@ -1,0 +1,39 @@
+package distrib
+
+import "testing"
+
+// FuzzClassify: the pattern classifier must never panic and must return
+// a pattern consistent with re-deriving the offsets for non-indexed
+// results.
+func FuzzClassify(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 4, 8, 12})
+	f.Add([]byte{0, 1, 8, 9})
+	f.Add([]byte{3, 1, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		offs := make([]int64, len(raw))
+		acc := int64(0)
+		for i, b := range raw {
+			acc += int64(b)
+			offs[i] = acc
+		}
+		spec, err := Classify(offs)
+		if err != nil {
+			t.Fatalf("monotone offsets rejected: %v", err)
+		}
+		// If classified as (block-)strided, the offsets must actually
+		// follow the law.
+		if spec.Stride() > 0 && spec.Stride() > spec.Block() {
+			s, b := int64(spec.Stride()), spec.Block()
+			for i := range offs {
+				want := offs[0] + int64(i/b)*s + int64(i%b)
+				if offs[i] != want {
+					t.Fatalf("classified %v but offsets deviate at %d", spec, i)
+				}
+			}
+		}
+	})
+}

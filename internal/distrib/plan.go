@@ -1,0 +1,190 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+
+	"ctcomm/internal/pattern"
+)
+
+// Transfer is one node-to-node data movement of a redistribution plan:
+// the elements processor From must send to processor To, with the local
+// word offsets on each side and the classified access patterns. This is
+// exactly the compiler's input to the communication operation xQy.
+type Transfer struct {
+	From, To int
+	// SrcOff and DstOff are the local array offsets (in elements) of
+	// the moved values at the source and destination.
+	SrcOff, DstOff []int64
+	// Src and Dst are the classified access patterns of the two sides.
+	Src, Dst pattern.Spec
+}
+
+// Words returns the number of transferred elements.
+func (t Transfer) Words() int { return len(t.SrcOff) }
+
+// Classify determines the symbolic access pattern of a local offset
+// sequence: contiguous, constant-strided, or indexed (paper §2.2). A
+// single element classifies as contiguous; an empty sequence is invalid.
+func Classify(offsets []int64) (pattern.Spec, error) {
+	switch len(offsets) {
+	case 0:
+		return pattern.Spec{}, fmt.Errorf("distrib: empty offset sequence")
+	case 1:
+		return pattern.Contig(), nil
+	}
+	if offsets[1]-offsets[0] < 1 {
+		return pattern.Indexed(), nil
+	}
+	// Detect the dense run length: how many leading offsets advance by 1.
+	block := 1
+	for block < len(offsets) && offsets[block]-offsets[block-1] == 1 {
+		block++
+	}
+	if block == len(offsets) {
+		return pattern.Contig(), nil
+	}
+	stride := offsets[block] - offsets[0]
+	if stride <= int64(block) || stride > 1<<30 {
+		return pattern.Indexed(), nil
+	}
+	// Verify the whole sequence follows the block-strided law.
+	for i := range offsets {
+		want := offsets[0] + int64(i/block)*stride + int64(i%block)
+		if offsets[i] != want {
+			return pattern.Indexed(), nil
+		}
+	}
+	return pattern.StridedBlock(int(stride), block), nil
+}
+
+// Plan computes the full redistribution plan from src to dst: one
+// Transfer per processor pair that exchanges at least one element.
+// Elements already on the right processor do not communicate ("the
+// compiler generates synchronization separately; we focus on the data
+// transfers", §2.1). Transfers are ordered (From, To).
+func Plan(src, dst Distribution) ([]Transfer, error) {
+	if !src.Compatible(dst) {
+		return nil, fmt.Errorf("distrib: incompatible distributions %v vs %v", src, dst)
+	}
+	type key struct{ from, to int }
+	byPair := make(map[key]*Transfer)
+	srcOff := allLocalOffsets(src)
+	dstOff := allLocalOffsets(dst)
+	for i := 0; i < src.N; i++ {
+		from := src.OwnerOf(i)
+		to := dst.OwnerOf(i)
+		if from == to {
+			continue
+		}
+		k := key{from, to}
+		t, ok := byPair[k]
+		if !ok {
+			t = &Transfer{From: from, To: to}
+			byPair[k] = t
+		}
+		t.SrcOff = append(t.SrcOff, srcOff[i])
+		t.DstOff = append(t.DstOff, dstOff[i])
+	}
+	plan := make([]Transfer, 0, len(byPair))
+	for _, t := range byPair {
+		s, err := Classify(t.SrcOff)
+		if err != nil {
+			return nil, err
+		}
+		d, err := Classify(t.DstOff)
+		if err != nil {
+			return nil, err
+		}
+		t.Src, t.Dst = s, d
+		plan = append(plan, *t)
+	}
+	sort.Slice(plan, func(i, j int) bool {
+		if plan[i].From != plan[j].From {
+			return plan[i].From < plan[j].From
+		}
+		return plan[i].To < plan[j].To
+	})
+	return plan, nil
+}
+
+// allLocalOffsets computes the local offset of every global index in
+// one O(n) pass (avoiding the O(n) per-element cost of LocalOffset for
+// indexed distributions).
+func allLocalOffsets(d Distribution) []int64 {
+	out := make([]int64, d.N)
+	if d.Kind == IndexedKind {
+		next := make([]int64, d.P)
+		for i, o := range d.Owner {
+			out[i] = next[o]
+			next[o]++
+		}
+		return out
+	}
+	for i := 0; i < d.N; i++ {
+		out[i] = int64(d.LocalOffset(i))
+	}
+	return out
+}
+
+// Localize splits a global array into per-processor local arrays under
+// the distribution.
+func Localize(d Distribution, global []float64) ([][]float64, error) {
+	if len(global) != d.N {
+		return nil, fmt.Errorf("distrib: array length %d != %d", len(global), d.N)
+	}
+	local := make([][]float64, d.P)
+	for p := 0; p < d.P; p++ {
+		local[p] = make([]float64, d.LocalSize(p))
+	}
+	for i, v := range global {
+		local[d.OwnerOf(i)][d.LocalOffset(i)] = v
+	}
+	return local, nil
+}
+
+// Globalize reassembles the global array from per-processor locals.
+func Globalize(d Distribution, local [][]float64) ([]float64, error) {
+	if len(local) != d.P {
+		return nil, fmt.Errorf("distrib: %d locals for %d processors", len(local), d.P)
+	}
+	global := make([]float64, d.N)
+	for i := range global {
+		p := d.OwnerOf(i)
+		off := d.LocalOffset(i)
+		if off >= len(local[p]) {
+			return nil, fmt.Errorf("distrib: local offset %d out of range on %d", off, p)
+		}
+		global[i] = local[p][off]
+	}
+	return global, nil
+}
+
+// Apply executes a redistribution plan functionally: it moves the
+// values from the src-layout locals into dst-layout locals, including
+// the elements that stay put. This is the correctness counterpart of
+// the timing in Execute.
+func Apply(src, dst Distribution, plan []Transfer, locals [][]float64) ([][]float64, error) {
+	if !src.Compatible(dst) {
+		return nil, fmt.Errorf("distrib: incompatible distributions")
+	}
+	out := make([][]float64, dst.P)
+	for p := 0; p < dst.P; p++ {
+		out[p] = make([]float64, dst.LocalSize(p))
+	}
+	// Elements that do not move between processors.
+	for i := 0; i < src.N; i++ {
+		from := src.OwnerOf(i)
+		to := dst.OwnerOf(i)
+		if from == to {
+			out[to][dst.LocalOffset(i)] = locals[from][src.LocalOffset(i)]
+		}
+	}
+	// Planned transfers.
+	for _, t := range plan {
+		for k := range t.SrcOff {
+			out[t.To][t.DstOff[k]] = locals[t.From][t.SrcOff[k]]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+
+	"ctcomm/internal/pattern"
+)
+
+// Two-dimensional distributions: HPF distributes each array dimension
+// independently onto one dimension of a processor grid (paper §2.1
+// discusses blocks, slices and intersections of slices, citing the
+// authors' array-statement compilation work [15]). A Dist2D combines a
+// row and a column distribution over a PR x PC processor grid; the
+// element (i, j) of an R x C array lives on processor
+// (rowOwner(i), colOwner(j)) with a row-major local layout.
+type Dist2D struct {
+	Rows, Cols int
+	// Row distributes the row index over PR grid rows; Col distributes
+	// the column index over PC grid columns. Use a single-processor
+	// distribution ("*" in HPF) to collapse a dimension.
+	Row, Col Distribution
+}
+
+// NewDist2D validates and builds a 2D distribution.
+func NewDist2D(rows, cols int, row, col Distribution) (Dist2D, error) {
+	if rows < 1 || cols < 1 {
+		return Dist2D{}, fmt.Errorf("distrib: invalid array %dx%d", rows, cols)
+	}
+	if row.N != rows {
+		return Dist2D{}, fmt.Errorf("distrib: row distribution covers %d, array has %d rows", row.N, rows)
+	}
+	if col.N != cols {
+		return Dist2D{}, fmt.Errorf("distrib: column distribution covers %d, array has %d cols", col.N, cols)
+	}
+	return Dist2D{Rows: rows, Cols: cols, Row: row, Col: col}, nil
+}
+
+// Procs returns the processor-grid size PR x PC.
+func (d Dist2D) Procs() int { return d.Row.P * d.Col.P }
+
+// OwnerOf returns the flat processor id owning element (i, j):
+// grid-row-major, i.e. owner = rowOwner*PC + colOwner.
+func (d Dist2D) OwnerOf(i, j int) int {
+	return d.Row.OwnerOf(i)*d.Col.P + d.Col.OwnerOf(j)
+}
+
+// LocalShape returns the local tile dimensions on processor p.
+func (d Dist2D) LocalShape(p int) (rows, cols int) {
+	return d.Row.LocalSize(p / d.Col.P), d.Col.LocalSize(p % d.Col.P)
+}
+
+// LocalOffset returns the row-major offset of element (i, j) within its
+// owner's local tile.
+func (d Dist2D) LocalOffset(i, j int) int {
+	_, lc := d.LocalShape(d.OwnerOf(i, j))
+	return d.Row.LocalOffset(i)*lc + d.Col.LocalOffset(j)
+}
+
+// Flatten converts the 2D distribution into an equivalent 1D indexed
+// distribution over the row-major element index, so the 1D planner can
+// compute transfers between arbitrary 2D layouts.
+func (d Dist2D) Flatten() (Distribution, error) {
+	owner := make([]int, d.Rows*d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		ri := d.Row.OwnerOf(i) * d.Col.P
+		for j := 0; j < d.Cols; j++ {
+			owner[i*d.Cols+j] = ri + d.Col.OwnerOf(j)
+		}
+	}
+	return NewIndexed(owner, d.Procs())
+}
+
+// Plan2D computes the redistribution plan between two 2D layouts of the
+// same array over the same processor count. The transfers carry local
+// offsets in each side's row-major tile layout, with patterns
+// classified as usual — a (BLOCK, *) to (*, BLOCK) remap, the paper's
+// transpose redistribution (Figure 9), classifies as contiguous reads
+// and strided writes.
+func Plan2D(src, dst Dist2D) ([]Transfer, error) {
+	if src.Rows != dst.Rows || src.Cols != dst.Cols {
+		return nil, fmt.Errorf("distrib: arrays differ: %dx%d vs %dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols)
+	}
+	if src.Procs() != dst.Procs() {
+		return nil, fmt.Errorf("distrib: processor counts differ: %d vs %d",
+			src.Procs(), dst.Procs())
+	}
+	type key struct{ from, to int }
+	byPair := make(map[key]*Transfer)
+	for i := 0; i < src.Rows; i++ {
+		for j := 0; j < src.Cols; j++ {
+			from := src.OwnerOf(i, j)
+			to := dst.OwnerOf(i, j)
+			if from == to {
+				continue
+			}
+			k := key{from, to}
+			t, ok := byPair[k]
+			if !ok {
+				t = &Transfer{From: from, To: to}
+				byPair[k] = t
+			}
+			t.SrcOff = append(t.SrcOff, int64(src.LocalOffset(i, j)))
+			t.DstOff = append(t.DstOff, int64(dst.LocalOffset(i, j)))
+		}
+	}
+	plan := make([]Transfer, 0, len(byPair))
+	for _, t := range byPair {
+		s, err := Classify(t.SrcOff)
+		if err != nil {
+			return nil, err
+		}
+		w, err := Classify(t.DstOff)
+		if err != nil {
+			return nil, err
+		}
+		t.Src, t.Dst = s, w
+		plan = append(plan, *t)
+	}
+	sortPlan(plan)
+	return plan, nil
+}
+
+// RowBlock returns the (BLOCK, *) layout: whole rows, block-distributed.
+func RowBlock(rows, cols, procs int) (Dist2D, error) {
+	r, err := NewBlock(rows, procs)
+	if err != nil {
+		return Dist2D{}, err
+	}
+	c, err := NewBlock(cols, 1)
+	if err != nil {
+		return Dist2D{}, err
+	}
+	return NewDist2D(rows, cols, r, c)
+}
+
+// ColBlock returns the (*, BLOCK) layout: whole columns, block-distributed.
+func ColBlock(rows, cols, procs int) (Dist2D, error) {
+	r, err := NewBlock(rows, 1)
+	if err != nil {
+		return Dist2D{}, err
+	}
+	c, err := NewBlock(cols, procs)
+	if err != nil {
+		return Dist2D{}, err
+	}
+	return NewDist2D(rows, cols, r, c)
+}
+
+// TransposePlan returns the plan of the paper's Figure 9 transpose:
+// b[i][j] = a[j][i] with both n x n arrays row-block distributed over
+// procs processors. Square patches move between every processor pair;
+// with source-major traversal (stridedLoads false) each transfer reads
+// blocks of contiguous words and scatters single words at stride n —
+// the 1Qn orientation — while dst-major traversal (stridedLoads true)
+// yields nQ1 (§5.2's compiler choice).
+func TransposePlan(n, procs int, stridedLoads bool) ([]Transfer, error) {
+	src, err := RowBlock(n, n, procs)
+	if err != nil {
+		return nil, err
+	}
+	dst := src // same layout for a and b
+	if n%procs != 0 {
+		return nil, fmt.Errorf("distrib: %d processors do not divide n=%d", procs, n)
+	}
+	blk := n / procs
+	var plan []Transfer
+	for from := 0; from < procs; from++ {
+		for to := 0; to < procs; to++ {
+			if from == to {
+				continue
+			}
+			t := Transfer{From: from, To: to}
+			// Element b(i, j) = a(j, i): i in to's rows, j in from's rows.
+			i0, j0 := to*blk, from*blk
+			if stridedLoads {
+				// dst-major: write b rows contiguously, read a columns.
+				for i := i0; i < i0+blk; i++ {
+					for j := j0; j < j0+blk; j++ {
+						t.SrcOff = append(t.SrcOff, int64(src.LocalOffset(j, i)))
+						t.DstOff = append(t.DstOff, int64(dst.LocalOffset(i, j)))
+					}
+				}
+				t.Src = pattern.Strided(n)
+				t.Dst = pattern.StridedBlock(n, blk)
+			} else {
+				// source-major: read a rows contiguously, scatter b
+				// columns at stride n.
+				for j := j0; j < j0+blk; j++ {
+					for i := i0; i < i0+blk; i++ {
+						t.SrcOff = append(t.SrcOff, int64(src.LocalOffset(j, i)))
+						t.DstOff = append(t.DstOff, int64(dst.LocalOffset(i, j)))
+					}
+				}
+				t.Src = pattern.StridedBlock(n, blk)
+				t.Dst = pattern.Strided(n)
+			}
+			plan = append(plan, t)
+		}
+	}
+	sortPlan(plan)
+	return plan, nil
+}
+
+// sortPlan orders transfers by (From, To).
+func sortPlan(plan []Transfer) {
+	sort.Slice(plan, func(i, j int) bool {
+		if plan[i].From != plan[j].From {
+			return plan[i].From < plan[j].From
+		}
+		return plan[i].To < plan[j].To
+	})
+}

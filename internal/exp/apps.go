@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"ctcomm/internal/apps"
+	"ctcomm/internal/apps/fem"
+	"ctcomm/internal/apps/fft"
+	"ctcomm/internal/apps/sor"
+	"ctcomm/internal/calibrate"
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/model"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/table"
+)
+
+// paperTab6 holds Table 6 (T3D, 64 nodes, MB/s per node): measured
+// buffer-packing, measured chained, chained model.
+var paperTab6 = map[string][3]float64{
+	"Transpose": {20.0, 25.2, 29.5},
+	"FEM":       {12.2, 14.2, 20.2},
+	"SOR":       {26.2, 27.9, 68.1},
+}
+
+// paperPVM3 holds the §6.2 PVM3 application rates (MB/s).
+var paperPVM3 = map[string]float64{"FEM": 2, "Transpose": 6, "SOR": 25}
+
+// kernelRates runs one application kernel with the given style and
+// returns its per-node communication report.
+func kernelRates(cfg Config, style comm.Style, kernel string) (apps.CommReport, error) {
+	m := machine.T3D()
+	switch kernel {
+	case "Transpose":
+		n := cfg.fftN()
+		a := make([][]complex128, n)
+		for i := range a {
+			a[i] = make([]complex128, n)
+			for j := range a[i] {
+				a[i][j] = complex(float64(i), float64(j))
+			}
+		}
+		_, rep, err := fft.DistributedTranspose(fft.DistConfig{M: m, Style: style, Nodes: 64}, a)
+		return rep, err
+	case "FEM":
+		nx, ny, nz := 48, 48, 16
+		if cfg.Quick {
+			nx, ny, nz = 24, 24, 8
+		}
+		res, _, err := fem.SolveValley(fem.Config{M: m, Style: style, Parts: 64, Seed: 1995}, nx, ny, nz)
+		if err != nil {
+			return apps.CommReport{}, err
+		}
+		return res.Comm, nil
+	case "SOR":
+		res, err := sor.Solve(sor.Config{
+			M: m, Style: style, Nodes: 64, MaxIter: 50, Tol: 1e-12,
+		}, sor.HotPlate(256))
+		if err != nil {
+			return apps.CommReport{}, err
+		}
+		return res.Comm, nil
+	default:
+		panic("unknown kernel " + kernel)
+	}
+}
+
+// chainedModelRate evaluates the chained model estimate for a kernel's
+// communication pattern with the calibrated rate table.
+func chainedModelRate(cfg Config, kernel string) (float64, error) {
+	m := machine.T3D()
+	caps := model.CapsOf(m)
+	rt := calibrate.Measure(m, cfg.words()).ToRateTable(m)
+	var x, y pattern.Spec
+	switch kernel {
+	case "Transpose":
+		x, y = pattern.Contig(), pattern.Strided(cfg.fftN())
+	case "FEM":
+		x, y = pattern.Indexed(), pattern.Indexed()
+	case "SOR":
+		x, y = pattern.Contig(), pattern.Contig()
+	}
+	expr, err := model.Chained(caps, x, y)
+	if err != nil {
+		return 0, err
+	}
+	return model.Evaluate(expr, rt, m.DefaultCongestion)
+}
+
+// Tab6 reproduces Table 6: the communication rates of the three
+// application kernels on a 64-node T3D partition.
+func Tab6() Experiment {
+	return Experiment{
+		ID:       "tab6",
+		Title:    "Application-kernel communication rates (T3D, 64 nodes)",
+		PaperRef: "Table 6, Section 6",
+		Run: func(cfg Config) ([]*table.Table, []string, error) {
+			var c check
+			out := &table.Table{
+				Title: "Per-node communication throughput (MB/s)",
+				Header: []string{"kernel", "packed sim", "chained sim", "chained model",
+					"paper packed", "paper chained", "paper model"},
+			}
+			for _, kernel := range []string{"Transpose", "FEM", "SOR"} {
+				packed, err := kernelRates(cfg, comm.BufferPacking, kernel)
+				if err != nil {
+					return nil, nil, err
+				}
+				chained, err := kernelRates(cfg, comm.Chained, kernel)
+				if err != nil {
+					return nil, nil, err
+				}
+				mdl, err := chainedModelRate(cfg, kernel)
+				if err != nil {
+					return nil, nil, err
+				}
+				p := paperTab6[kernel]
+				out.AddRow(kernel, table.F(packed.MBps()), table.F(chained.MBps()), table.F(mdl),
+					table.F(p[0]), table.F(p[1]), table.F(p[2]))
+
+				c.gtr(chained.MBps(), packed.MBps(), "%s: chained must beat packed", kernel)
+				c.expect(chained.MBps() <= mdl*1.05,
+					"%s: measurement must not beat the model estimate (%.1f vs %.1f)",
+					kernel, chained.MBps(), mdl)
+				if !cfg.Quick {
+					// Absolute levels depend on workload scale; check
+					// them only at paper scale.
+					c.within(packed.MBps(), p[0], 0.75, "%s packed must be in the paper's range", kernel)
+				}
+			}
+			// The paper's premise quantified: the transpose's share of the
+			// whole 2D-FFT kernel at 1995 compute rates.
+			n := cfg.fftN()
+			computeNs := apps.TimeNs(apps.FlopsFFT2D(n)/64, 0)
+			chainedRep, err := kernelRates(cfg, comm.Chained, "Transpose")
+			if err != nil {
+				return nil, nil, err
+			}
+			frac := apps.CommFraction(2*chainedRep.ElapsedNs, computeNs)
+			out.AddNote("2D-FFT context: two chained transposes claim %.0f%% of the whole "+
+				"kernel at %.0f sustained MFLOPS", frac*100, apps.DefaultMFLOPS)
+			c.expect(frac > 0.1,
+				"the transpose must claim a substantial share of the FFT kernel (got %.2f)", frac)
+			out.AddNote("paper columns: measured packed / measured chained / chained model (Table 6)")
+			out.AddNote("SOR chained gains more here than on the real T3D, whose runtime " +
+				"per-message costs compressed both styles toward ~27 MB/s")
+			return []*table.Table{out}, c.failures, nil
+		},
+	}
+}
+
+// PVM3 reproduces the §6.2 observation: with the stock PVM3 library the
+// same kernels collapse to a fraction of the tuned rates because of
+// per-message overhead and extra buffer copies.
+func PVM3() Experiment {
+	return Experiment{
+		ID:       "pvm3",
+		Title:    "Application kernels over stock PVM3",
+		PaperRef: "Section 6.2",
+		Run: func(cfg Config) ([]*table.Table, []string, error) {
+			var c check
+			out := &table.Table{
+				Title:  "Per-node PVM3 communication throughput (MB/s)",
+				Header: []string{"kernel", "pvm sim", "packed sim", "paper pvm"},
+			}
+			rates := map[string]float64{}
+			for _, kernel := range []string{"Transpose", "FEM", "SOR"} {
+				pvm, err := kernelRates(cfg, comm.PVM, kernel)
+				if err != nil {
+					return nil, nil, err
+				}
+				packed, err := kernelRates(cfg, comm.BufferPacking, kernel)
+				if err != nil {
+					return nil, nil, err
+				}
+				rates[kernel] = pvm.MBps()
+				out.AddRow(kernel, table.F(pvm.MBps()), table.F(packed.MBps()),
+					table.F(paperPVM3[kernel]))
+				c.gtr(packed.MBps(), pvm.MBps(), "%s: tuned packing must beat PVM3", kernel)
+			}
+			c.gtr(rates["Transpose"], rates["FEM"],
+				"PVM3: the transpose (larger messages) must beat FEM (small indexed halos)")
+			if !cfg.Quick {
+				c.within(rates["Transpose"], paperPVM3["Transpose"], 0.6,
+					"PVM3 transpose must be in the paper's range")
+			}
+			out.AddNote("paper §6.2: ~2 MB/s FEM, ~6 MB/s FFT, ~25 MB/s SOR with Cray PVM3")
+			out.AddNote("our simulated PVM3 SOR is lower than the paper's 25 MB/s: the real " +
+				"Cray PVM appears to fast-path small contiguous shifts")
+			return []*table.Table{out}, c.failures, nil
+		},
+	}
+}

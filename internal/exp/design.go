@@ -1,0 +1,113 @@
+package exp
+
+// ExtDesign explores the hardware design space the paper's conclusions
+// address: "Additional hardware support is only useful to the extent
+// that it supports the demands of a parallelizing compiler ... such
+// engines must take into account that not all transfers are contiguous
+// blocks ... engines that have a large unit of transfer may not deliver
+// the expected performance."
+
+import (
+	"ctcomm/internal/comm"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/table"
+)
+
+// designVariant builds a T3D with a modified deposit engine.
+type designVariant struct {
+	name   string
+	mutate func(*machine.Machine)
+}
+
+var designVariants = []designVariant{
+	{"annex (word unit, all patterns)", func(m *machine.Machine) {}},
+	{"unit-4 engine", func(m *machine.Machine) { m.Deposit.MinUnitWords = 4 }},
+	{"unit-64 engine", func(m *machine.Machine) { m.Deposit.MinUnitWords = 64 }},
+	{"contiguous-only DMA", func(m *machine.Machine) {
+		m.Deposit.Strided = false
+		m.Deposit.Indexed = false
+	}},
+	{"no deposit engine", func(m *machine.Machine) { m.Deposit.Present = false }},
+	{"annex + compressed addresses", func(m *machine.Machine) { m.Net.AddrBytes = 4 }},
+}
+
+// designWorkloads are the compiler-demanded patterns the engine must
+// serve, in increasing difficulty.
+var designWorkloads = []qCase{
+	{"1Q1", pattern.Contig(), pattern.Contig()},
+	{"1Q64x4", pattern.Contig(), pattern.StridedBlock(64, 4)},
+	{"1Q64", pattern.Contig(), pattern.Strided(64)},
+	{"wQw", pattern.Indexed(), pattern.Indexed()},
+}
+
+// ExtDesign sweeps deposit-engine designs over the workload patterns.
+func ExtDesign() Experiment {
+	return Experiment{
+		ID:       "ext-design",
+		Title:    "Deposit-engine design space",
+		PaperRef: "Conclusions (§7)",
+		Run: func(cfg Config) ([]*table.Table, []string, error) {
+			var c check
+			out := &table.Table{
+				Title:  "Best achievable xQy on T3D variants (MB/s; * = forced buffer packing)",
+				Header: append([]string{"engine design"}, workloadLabels()...),
+			}
+			rates := map[string]map[string]float64{}
+			for _, v := range designVariants {
+				m := machine.T3D()
+				v.mutate(m)
+				if err := m.Validate(); err != nil {
+					return nil, nil, err
+				}
+				row := []string{v.name}
+				rates[v.name] = map[string]float64{}
+				for _, w := range designWorkloads {
+					res, err := comm.Run(m, comm.Chained, w.x, w.y,
+						comm.Options{Words: cfg.words(), Duplex: true})
+					cell := ""
+					if err != nil {
+						// The engine cannot chain this pattern; the
+						// compiler falls back to buffer packing.
+						res, err = comm.Run(m, comm.BufferPacking, w.x, w.y,
+							comm.Options{Words: cfg.words(), Duplex: true})
+						if err != nil {
+							return nil, nil, err
+						}
+						cell = "*"
+					}
+					rates[v.name][w.label] = res.MBps()
+					row = append(row, table.F(res.MBps())+cell)
+				}
+				out.Rows = append(out.Rows, row)
+			}
+			full := rates["annex (word unit, all patterns)"]
+			// A unit-4 engine still chains 4-word runs but loses the
+			// word-granular patterns.
+			c.within(rates["unit-4 engine"]["1Q64x4"], full["1Q64x4"], 0.01,
+				"unit-4 engine must chain 4-word runs at full speed")
+			c.gtr(full["1Q64"], rates["unit-4 engine"]["1Q64"],
+				"unit-4 engine must lose word-granular strided chaining")
+			c.gtr(full["wQw"], rates["unit-64 engine"]["wQw"],
+				"large-unit engines must lose indexed chaining")
+			// Removing the engine entirely costs even contiguous chains.
+			c.gtr(full["1Q1"], rates["no deposit engine"]["1Q1"],
+				"no engine: contiguous chaining impossible")
+			// Address compression helps every address-data-pair pattern.
+			c.gtr(rates["annex + compressed addresses"]["1Q64"], full["1Q64"],
+				"compressed addresses must raise Nadp-bound rates")
+			out.AddNote("* pattern not chainable: compiler falls back to buffer packing")
+			out.AddNote("the paper's conclusion in one table: flexible word-granular engines " +
+				"are what parallelizing compilers need")
+			return []*table.Table{out}, c.failures, nil
+		},
+	}
+}
+
+func workloadLabels() []string {
+	out := make([]string, len(designWorkloads))
+	for i, w := range designWorkloads {
+		out[i] = w.label
+	}
+	return out
+}

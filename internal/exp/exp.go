@@ -1,0 +1,131 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Stricker/Gross, ISCA 1995) on the simulated machines and
+// compares the results against the published values. Each experiment
+// renders a plain-text table and reports shape-check findings: the
+// reproduction's success criterion is that the paper's orderings and
+// approximate factors hold, not that absolute 1995 numbers match.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ctcomm/internal/table"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks workloads for fast test runs; the shapes must hold
+	// at both scales.
+	Quick bool
+	// Verbose adds diagnostic notes to the tables.
+	Verbose bool
+}
+
+// words returns the microbenchmark block size.
+func (c Config) words() int {
+	if c.Quick {
+		return 1 << 14
+	}
+	return 1 << 17
+}
+
+// fftN returns the 2D-FFT matrix dimension (paper: 1024).
+func (c Config) fftN() int {
+	if c.Quick {
+		return 256
+	}
+	return 1024
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID       string // e.g. "tab1", "fig7"
+	Title    string
+	PaperRef string
+	// Run produces the result tables and a list of shape-check failures
+	// (empty means every reproduced ordering holds).
+	Run func(cfg Config) ([]*table.Table, []string, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Fig1(), Tab1(), Fig4(), Tab2(), Tab3(), Tab4(),
+		Sec341(), Sec51(), Fig7(), Fig8(), Tab5(), Tab6(), PVM3(),
+		// Extensions beyond the numbered artifacts (see ext.go).
+		ExtPutGet(), ExtAAPC(), ExtRedistrib(), ExtDesign(), ExtTopology(), ExtAgreement(),
+	}
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID returns the experiment with the given id, or an error.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+}
+
+// RunAndRender executes the experiment and writes its tables and check
+// results to w. It returns the shape-check failures.
+func (e Experiment) RunAndRender(w io.Writer, cfg Config) ([]string, error) {
+	fmt.Fprintf(w, "== %s: %s (%s) ==\n\n", e.ID, e.Title, e.PaperRef)
+	tables, failures, err := e.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	if len(failures) == 0 {
+		fmt.Fprintf(w, "shape check: PASS\n\n")
+	} else {
+		fmt.Fprintf(w, "shape check: FAIL\n")
+		for _, f := range failures {
+			fmt.Fprintf(w, "  - %s\n", f)
+		}
+		fmt.Fprintln(w)
+	}
+	return failures, nil
+}
+
+// check collects shape assertions.
+type check struct{ failures []string }
+
+func (c *check) expect(ok bool, format string, args ...interface{}) {
+	if !ok {
+		c.failures = append(c.failures, fmt.Sprintf(format, args...))
+	}
+}
+
+// gtr asserts a > b.
+func (c *check) gtr(a, b float64, format string, args ...interface{}) {
+	c.expect(a > b, format+fmt.Sprintf(" (%.1f vs %.1f)", a, b), args...)
+}
+
+// within asserts |got-want|/want <= tol.
+func (c *check) within(got, want, tol float64, format string, args ...interface{}) {
+	rel := 0.0
+	if want != 0 {
+		rel = (got - want) / want
+	}
+	if rel < 0 {
+		rel = -rel
+	}
+	c.expect(rel <= tol, format+fmt.Sprintf(" (got %.1f, want %.1f ±%.0f%%)", got, want, tol*100), args...)
+}

@@ -1,0 +1,196 @@
+package exp
+
+// Extension experiments: reproductions of claims the paper makes in
+// passing (put/get asymmetry, AAPC schedulability, compiler-generated
+// redistributions) that go beyond its numbered tables and figures.
+
+import (
+	"ctcomm/internal/aapc"
+	"ctcomm/internal/comm"
+	"ctcomm/internal/distrib"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/netsim"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/table"
+)
+
+// ExtPutGet reproduces the §3.5 footnote-2 claim: deposits (puts)
+// outperform withdrawals (gets) because address information has to
+// travel first when pulling.
+func ExtPutGet() Experiment {
+	return Experiment{
+		ID:       "ext-putget",
+		Title:    "Remote store (put) vs. remote load (get)",
+		PaperRef: "Section 3.5, footnote 2",
+		Run: func(cfg Config) ([]*table.Table, []string, error) {
+			var c check
+			var tables []*table.Table
+			cases := []qCase{
+				{"1Q1", pattern.Contig(), pattern.Contig()},
+				{"64Q1", pattern.Strided(64), pattern.Contig()},
+				{"wQw", pattern.Indexed(), pattern.Indexed()},
+			}
+			for _, m := range machine.Profiles() {
+				out := &table.Table{
+					Title:  "Put vs. get throughput (MB/s, chained) — " + m.Name,
+					Header: []string{"op", "put", "get", "get/put"},
+				}
+				for _, qc := range cases {
+					put, get, err := comm.PutGetComparison(m, comm.Chained, qc.x, qc.y, cfg.words())
+					if err != nil {
+						return nil, nil, err
+					}
+					out.AddRow(qc.label, table.F(put), table.F(get), table.F2(get/put))
+					c.expect(get <= put+1e-9,
+						"%s %s: get must not beat put (%.1f vs %.1f)", m.Name, qc.label, get, put)
+				}
+				// Word-wise gets must pay visibly; block gets only a startup.
+				_, getW, err := comm.PutGetComparison(m, comm.Chained,
+					pattern.Indexed(), pattern.Indexed(), cfg.words())
+				if err != nil {
+					return nil, nil, err
+				}
+				putW, _, err := comm.PutGetComparison(m, comm.Chained,
+					pattern.Indexed(), pattern.Indexed(), cfg.words())
+				if err != nil {
+					return nil, nil, err
+				}
+				c.expect(getW < 0.95*putW,
+					"%s: word-wise gets must pay a visible penalty (%.1f vs %.1f)", m.Name, getW, putW)
+				out.AddNote("block gets send one descriptor; word-wise gets are blocking remote loads")
+				tables = append(tables, out)
+			}
+			return tables, c.failures, nil
+		},
+	}
+}
+
+// ExtAAPC reproduces the §4.3 claim that the complete exchange can be
+// scheduled at minimal congestion.
+func ExtAAPC() Experiment {
+	return Experiment{
+		ID:       "ext-aapc",
+		Title:    "Scheduled all-to-all personalized communication",
+		PaperRef: "Section 4.3 (citing Hinrichs et al.)",
+		Run: func(cfg Config) ([]*table.Table, []string, error) {
+			var c check
+			var tables []*table.Table
+			for _, m := range machine.Profiles() {
+				out := &table.Table{
+					Title:  "AAPC congestion — " + m.Name,
+					Header: []string{"schedule", "max phase congestion", "naive all-at-once"},
+				}
+				naive := netsim.CongestionOf(m.Topo, netsim.AllToAll(m.Nodes(), 1), m.Net.NodesPerPort)
+				sched, err := aapc.XOR(m.Nodes())
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := sched.Validate(); err != nil {
+					return nil, nil, err
+				}
+				xc := sched.MaxCongestion(m.Topo, m.Net.NodesPerPort)
+				out.AddRow("XOR (pairwise exchange)", table.F(xc), table.F(naive))
+				shift, err := aapc.Shift(m.Nodes())
+				if err != nil {
+					return nil, nil, err
+				}
+				sc := shift.MaxCongestion(m.Topo, m.Net.NodesPerPort)
+				out.AddRow("cyclic shift", table.F(sc), table.F(naive))
+
+				// Makespan under blocking-wormhole routing: this is where
+				// the schedule pays off in completion time, not just in
+				// bounded congestion.
+				bytesPerPair := int64(8192)
+				netS := netsim.MustNewNetwork(m.Topo, m.Net)
+				schedMs := sched.MakespanCircuit(netS, bytesPerPair, netsim.DataOnly, 0)
+				netN := netsim.MustNewNetwork(m.Topo, m.Net)
+				naiveMs := aapc.UnscheduledMakespanCircuit(netN, m.Nodes(), bytesPerPair, netsim.DataOnly)
+				out.AddNote("blocking-wormhole makespan: scheduled %.1f ms vs naive %.1f ms (%.2fx)",
+					float64(schedMs)/1e6, float64(naiveMs)/1e6, float64(naiveMs)/float64(schedMs))
+				c.expect(schedMs < naiveMs,
+					"%s: scheduling must win the blocking-wormhole makespan", m.Name)
+				c.expect(xc*4 <= naive,
+					"%s: XOR schedule congestion %.0f must be far below naive %.0f", m.Name, xc, naive)
+				minC := 1.0
+				if m.Net.NodesPerPort > 1 {
+					minC = float64(m.Net.NodesPerPort)
+				}
+				c.expect(xc <= 2*minC+2,
+					"%s: scheduled congestion %.0f must be near the structural minimum %.0f", m.Name, xc, minC)
+				tables = append(tables, out)
+			}
+			return tables, c.failures, nil
+		},
+	}
+}
+
+// ExtRedistrib prices compiler-generated HPF redistributions (§2.1-2.2)
+// with both communication styles.
+func ExtRedistrib() Experiment {
+	return Experiment{
+		ID:       "ext-redistrib",
+		Title:    "HPF array redistributions, packed vs. chained",
+		PaperRef: "Sections 2.1-2.2",
+		Run: func(cfg Config) ([]*table.Table, []string, error) {
+			var c check
+			m := machine.T3D()
+			n := cfg.words()
+			p := 16
+			out := &table.Table{
+				Title:  "Redistribution throughput (MB/s per node) — " + m.Name,
+				Header: []string{"redistribution", "patterns", "packed", "chained", "ratio"},
+			}
+			block, err := distrib.NewBlock(n, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			cyclic, err := distrib.NewCyclic(n, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			bc8, err := distrib.NewBlockCyclic(n, p, 8)
+			if err != nil {
+				return nil, nil, err
+			}
+			cases := []struct {
+				name     string
+				src, dst distrib.Distribution
+			}{
+				{"BLOCK->CYCLIC", block, cyclic},
+				{"CYCLIC->BLOCK", cyclic, block},
+				{"BLOCK->CYCLIC(8)", block, bc8},
+			}
+			for _, cse := range cases {
+				plan, err := distrib.Plan(cse.src, cse.dst)
+				if err != nil {
+					return nil, nil, err
+				}
+				pats := map[string]bool{}
+				for _, tr := range plan {
+					pats[tr.Src.String()+"Q"+tr.Dst.String()] = true
+				}
+				patStr := ""
+				for k := range pats {
+					if patStr != "" {
+						patStr += " "
+					}
+					patStr += k
+				}
+				packed, err := distrib.Execute(m, plan, distrib.ExecuteOptions{Style: comm.BufferPacking})
+				if err != nil {
+					return nil, nil, err
+				}
+				chained, err := distrib.Execute(m, plan, distrib.ExecuteOptions{Style: comm.Chained})
+				if err != nil {
+					return nil, nil, err
+				}
+				out.AddRow(cse.name, patStr, table.F(packed.MBps()), table.F(chained.MBps()),
+					table.F2(chained.MBps()/packed.MBps()))
+				c.gtr(chained.MBps(), packed.MBps(),
+					"%s: chaining must win the strided redistribution", cse.name)
+			}
+			out.AddNote("plans generated by the HPF-style distribution planner (internal/distrib)")
+			return []*table.Table{out}, c.failures, nil
+		},
+	}
+}

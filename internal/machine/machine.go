@@ -1,0 +1,192 @@
+// Package machine assembles node architectures out of the memory-system
+// and network simulators and provides the two profiles studied in the
+// paper: the Cray T3D and the Intel Paragon (Stricker/Gross, ISCA 1995,
+// §3.5). A Machine is a static description; a Node instantiates the
+// mutable memory-system state for one processing element.
+package machine
+
+import (
+	"fmt"
+
+	"ctcomm/internal/memsim"
+	"ctcomm/internal/netsim"
+	"ctcomm/internal/pattern"
+)
+
+// NIConfig describes the processor-visible network interface: a
+// memory-mapped port the processor stores outgoing words to (the T3D
+// annex window, the Paragon NI FIFOs) and reads incoming words from.
+type NIConfig struct {
+	// PortStoreNs is the processor cost of one word store to the port.
+	PortStoreNs float64
+	// PortLoadNs is the processor cost of one word load from the port.
+	PortLoadNs float64
+	// InjectMBps caps the rate at which the node can push data into the
+	// network through this port, regardless of who drives it.
+	InjectMBps float64
+	// EjectMBps caps the rate at which the network can deliver into the
+	// node.
+	EjectMBps float64
+}
+
+// DepositConfig describes the deposit engine: hardware that takes
+// incoming remote stores off the network and performs the memory writes
+// in the background (the T3D "annex" fetch/deposit circuitry, or a
+// Paragon DMA with heavy restrictions).
+type DepositConfig struct {
+	Present bool
+	// Contig/Strided/Indexed report which write patterns the engine can
+	// handle. The T3D annex handles all three; a plain DMA handles only
+	// well-aligned contiguous blocks (paper §3.5.2).
+	Contig  bool
+	Strided bool
+	Indexed bool
+	// SetupNs is the per-message processor cost of arming the engine.
+	SetupNs float64
+	// KickNs is processor attention required per DRAM page crossed
+	// (Paragon DMAs "need to be kicked back on ... due to crossing a
+	// memory page boundary", §5.1.3). Zero for autonomous engines.
+	KickNs float64
+	// MinUnitWords is the engine's smallest transfer unit in 64-bit
+	// words (0 and 1 mean single words). The paper's conclusions warn
+	// that "engines that have a large unit of transfer (say more than 4
+	// operands, or even pages) may not deliver the expected performance"
+	// because patterns finer than the unit force preparation copies: a
+	// deposit engine with unit u can only chain patterns whose dense
+	// runs are at least u words long.
+	MinUnitWords int
+}
+
+// Supports reports whether the engine can deposit the given pattern.
+func (d DepositConfig) Supports(spec pattern.Spec) bool {
+	if !d.Present {
+		return false
+	}
+	unit := d.MinUnitWords
+	if unit < 1 {
+		unit = 1
+	}
+	switch spec.Kind() {
+	case pattern.KindContig:
+		return d.Contig
+	case pattern.KindStrided:
+		return d.Strided && spec.Block() >= unit
+	case pattern.KindIndexed:
+		return d.Indexed && unit <= 1
+	default:
+		return false
+	}
+}
+
+// FetchConfig describes the fetch engine (DMA) that reads memory and
+// feeds the network in the background: the xF0 basic transfer.
+type FetchConfig struct {
+	Present bool
+	// ContigOnly restricts the engine to contiguous read patterns.
+	ContigOnly bool
+	// RateMBps is the engine's streaming limit independent of memory.
+	RateMBps float64
+	SetupNs  float64
+	KickNs   float64 // per DRAM page, like DepositConfig.KickNs
+}
+
+// Supports reports whether the fetch engine can read the given pattern.
+func (f FetchConfig) Supports(spec pattern.Spec) bool {
+	if !f.Present {
+		return false
+	}
+	if f.ContigOnly {
+		return spec.Kind() == pattern.KindContig
+	}
+	return spec.IsMemory()
+}
+
+// Machine is a complete node-architecture profile plus its interconnect.
+type Machine struct {
+	Name string
+	Mem  memsim.Config
+	Net  netsim.Config
+	Topo netsim.Topology
+	NI   NIConfig
+
+	Deposit DepositConfig
+	Fetch   FetchConfig
+
+	// CoProcessor reports whether the node has a second processor that
+	// can be dedicated to communication (the Paragon's second i860,
+	// usable as a deposit engine for any pattern, §5.1.4).
+	CoProcessor bool
+
+	// BusMBps is the total node memory-bus bandwidth, the resource
+	// constraint that bounds concurrent processor + engine traffic.
+	BusMBps float64
+
+	// CoProcPenalty scales memory throughput when processor and
+	// co-processor interleave fine-grained accesses on the shared bus
+	// (the paper measured up to 50% loss on the A-step Paragon, §5.1.4;
+	// 1.0 means no penalty).
+	CoProcPenalty float64
+
+	// DefaultCongestion is the congestion factor assumed for model
+	// estimates ("communication runs at a congestion of two in many
+	// cases", §4.3).
+	DefaultCongestion float64
+
+	// LibOverheadNs is the constant per-message software overhead of the
+	// fastest vendor/third-party library (libsma on the T3D, libnx under
+	// SUNMOS on the Paragon).
+	LibOverheadNs float64
+
+	// PVMOverheadNs is the constant per-message overhead of the portable
+	// PVM library, whose buffered semantics cost "constant overhead for
+	// sending a message" (paper §6.2).
+	PVMOverheadNs float64
+}
+
+// Validate checks the whole profile.
+func (m *Machine) Validate() error {
+	if err := m.Mem.Validate(); err != nil {
+		return err
+	}
+	if err := m.Net.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case m.NI.PortStoreNs <= 0 || m.NI.PortLoadNs <= 0:
+		return fmt.Errorf("machine: %s: NI port costs must be positive", m.Name)
+	case m.NI.InjectMBps <= 0 || m.NI.EjectMBps <= 0:
+		return fmt.Errorf("machine: %s: NI rates must be positive", m.Name)
+	case m.BusMBps <= 0:
+		return fmt.Errorf("machine: %s: BusMBps must be positive", m.Name)
+	case m.DefaultCongestion < 1:
+		return fmt.Errorf("machine: %s: DefaultCongestion must be >= 1", m.Name)
+	case m.CoProcPenalty <= 0 || m.CoProcPenalty > 1:
+		return fmt.Errorf("machine: %s: CoProcPenalty must be in (0,1]", m.Name)
+	case m.Topo == nil:
+		return fmt.Errorf("machine: %s: missing topology", m.Name)
+	case m.LibOverheadNs < 0 || m.PVMOverheadNs < m.LibOverheadNs:
+		return fmt.Errorf("machine: %s: invalid per-message overheads", m.Name)
+	}
+	return nil
+}
+
+// Nodes returns the number of compute nodes in the configured machine.
+func (m *Machine) Nodes() int { return m.Topo.Nodes() }
+
+// Node is one processing element: the machine profile plus its private
+// memory-system state.
+type Node struct {
+	ID  int
+	M   *Machine
+	Mem *memsim.Memory
+}
+
+// NewNode instantiates node id with a cold memory system.
+func (m *Machine) NewNode(id int) *Node {
+	return &Node{ID: id, M: m, Mem: memsim.MustNew(m.Mem)}
+}
+
+// String identifies the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s (%d nodes, %s)", m.Name, m.Nodes(), m.Topo.Name())
+}

@@ -1,0 +1,52 @@
+package memsim
+
+import (
+	"testing"
+
+	"ctcomm/internal/pattern"
+)
+
+func benchStream(b *testing.B, cfg Config, spec pattern.Spec, write bool) {
+	const words = 1 << 14
+	st := pattern.NewStream(spec, 0, words)
+	if spec.Kind() == pattern.KindIndexed {
+		st.WithIndex(pattern.Permutation(words, 1))
+	}
+	acc := st.Accesses(write)
+	b.SetBytes(words * 8)
+	b.ResetTimer()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		m := MustNew(cfg)
+		last = m.Run(acc)
+	}
+	b.ReportMetric(last.MBps(), "simMB/s")
+}
+
+func BenchmarkLoadStream(b *testing.B) {
+	for _, spec := range []pattern.Spec{pattern.Contig(), pattern.Strided(64), pattern.Indexed()} {
+		b.Run(spec.String(), func(b *testing.B) { benchStream(b, testConfig(), spec, false) })
+	}
+}
+
+func BenchmarkStoreStream(b *testing.B) {
+	for _, spec := range []pattern.Spec{pattern.Contig(), pattern.Strided(64), pattern.Indexed()} {
+		b.Run(spec.String(), func(b *testing.B) { benchStream(b, testConfig(), spec, true) })
+	}
+}
+
+func BenchmarkEngineWrite(b *testing.B) {
+	const words = 1 << 14
+	for _, spec := range []pattern.Spec{pattern.Contig(), pattern.Strided(64)} {
+		b.Run(spec.String(), func(b *testing.B) {
+			st := pattern.NewStream(spec, 0, words)
+			b.SetBytes(words * 8)
+			var last Result
+			for i := 0; i < b.N; i++ {
+				m := MustNew(testConfig())
+				last = m.EngineWrite(st)
+			}
+			b.ReportMetric(last.MBps(), "simMB/s")
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package memsim
+
+// cache is a set-associative, LRU, word-addressed tag store. Only tags
+// are tracked — the simulator needs hit/miss decisions and evictions,
+// never data. With the write-around and write-through policies of the
+// two modeled machines there are no dirty write-backs, so evictions are
+// free; the structure still records them for diagnostics.
+type cache struct {
+	lineBytes int
+	sets      int
+	ways      int
+	// tags[set][way] holds the line number (addr/lineBytes); lru[set][way]
+	// holds a per-set monotonically increasing use stamp; dirty marks
+	// lines modified under a write-back policy.
+	tags  [][]int64
+	lru   [][]int64
+	dirty [][]bool
+	stamp int64
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newCache(cfg *Config) *cache {
+	lines := cfg.CacheBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	c := &cache{
+		lineBytes: cfg.LineBytes,
+		sets:      sets,
+		ways:      cfg.Ways,
+		tags:      make([][]int64, sets),
+		lru:       make([][]int64, sets),
+	}
+	c.dirty = make([][]bool, sets)
+	for s := range c.tags {
+		c.tags[s] = make([]int64, cfg.Ways)
+		c.lru[s] = make([]int64, cfg.Ways)
+		c.dirty[s] = make([]bool, cfg.Ways)
+		for w := range c.tags[s] {
+			c.tags[s][w] = -1
+		}
+	}
+	return c
+}
+
+func (c *cache) line(addr int64) int64 { return addr / int64(c.lineBytes) }
+
+func (c *cache) set(line int64) int {
+	s := line % int64(c.sets)
+	if s < 0 {
+		s += int64(c.sets)
+	}
+	return int(s)
+}
+
+// lookup probes the cache without modifying LRU state.
+func (c *cache) lookup(addr int64) bool {
+	line := c.line(addr)
+	s := c.set(line)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[s][w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// access probes the cache and updates LRU state on a hit. It reports
+// whether the word hit.
+func (c *cache) access(addr int64) bool {
+	line := c.line(addr)
+	s := c.set(line)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[s][w] == line {
+			c.stamp++
+			c.lru[s][w] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// fill inserts the line containing addr, evicting the LRU way if the set
+// is full. It reports the evicted line and whether it was dirty (needing
+// a write-back under the write-back policy).
+func (c *cache) fill(addr int64) (evictedLine int64, evictedDirty bool) {
+	line := c.line(addr)
+	s := c.set(line)
+	victim, oldest := 0, int64(1<<62)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[s][w] == line {
+			return -1, false // already present (e.g. racing prefetch)
+		}
+		if c.tags[s][w] == -1 {
+			victim, oldest = w, -1
+			break
+		}
+		if c.lru[s][w] < oldest {
+			victim, oldest = w, c.lru[s][w]
+		}
+	}
+	evictedLine, evictedDirty = -1, false
+	if c.tags[s][victim] != -1 {
+		c.evictions++
+		evictedLine = c.tags[s][victim]
+		evictedDirty = c.dirty[s][victim]
+	}
+	c.stamp++
+	c.tags[s][victim] = line
+	c.lru[s][victim] = c.stamp
+	c.dirty[s][victim] = false
+	return evictedLine, evictedDirty
+}
+
+// markDirty flags the line containing addr as modified; it reports
+// whether the line was present.
+func (c *cache) markDirty(addr int64) bool {
+	line := c.line(addr)
+	s := c.set(line)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[s][w] == line {
+			c.dirty[s][w] = true
+			c.stamp++
+			c.lru[s][w] = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate drops the line containing addr if present. The T3D deposit
+// engine invalidates cached copies line by line as remote stores land
+// (paper §3.5.1).
+func (c *cache) invalidate(addr int64) {
+	line := c.line(addr)
+	s := c.set(line)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[s][w] == line {
+			c.tags[s][w] = -1
+			c.dirty[s][w] = false
+			return
+		}
+	}
+}
+
+// invalidateAll empties the cache, as at a synchronization point.
+func (c *cache) invalidateAll() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = -1
+			c.dirty[s][w] = false
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package memsim
+
+// dram models a single non-interleaved DRAM bank with open-page (row)
+// mode, matching the "simple non-interleaved memory system built from
+// DRAM chips" of the T3D node and the very similar Paragon memory
+// (paper §3.5). It is a busy-until resource: claims serialize, and each
+// claim pays row-hit or row-miss latency depending on the page left open
+// by the previous claim, plus per-word bus occupancy.
+type dram struct {
+	cfg      *Config
+	freeAt   float64 // ns at which the bank is next idle
+	openPage int64   // currently open page number, -1 if none
+	busy     float64 // cumulative busy ns
+	rowHits  int64
+	rowMiss  int64
+}
+
+func newDRAM(cfg *Config) *dram {
+	return &dram{cfg: cfg, openPage: -1}
+}
+
+func (d *dram) page(addr int64) int64 {
+	return addr / int64(d.cfg.PageBytes)
+}
+
+// claim reserves the bank for one access of words 8-byte words at byte
+// address addr, starting no earlier than at. It returns the completion
+// time. The latency component is row-hit or row-miss depending on the
+// open page.
+func (d *dram) claim(at float64, addr int64, words int) (done float64) {
+	_, done = d.claimCW(at, addr, words)
+	return done
+}
+
+// claimCW is claim with critical-word-first timing: it additionally
+// returns dataAt, the time the first requested word is available, while
+// the bank stays busy until the full burst completes.
+func (d *dram) claimCW(at float64, addr int64, words int) (dataAt, done float64) {
+	start := at
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	lat := d.cfg.RowMissNs
+	p := d.page(addr)
+	if p == d.openPage {
+		lat = d.cfg.RowHitNs
+		d.rowHits++
+	} else {
+		d.rowMiss++
+	}
+	dur := lat + float64(words)*d.cfg.WordNs
+	d.freeAt = start + dur
+	d.busy += dur
+	d.openPage = p
+	return start + lat + d.cfg.WordNs, d.freeAt
+}
+
+// claimPosted reserves the bank for one posted-write drain of words
+// 8-byte words, applying the per-transaction write cost and, if
+// configured, closing the page.
+func (d *dram) claimPosted(at float64, addr int64, words int) (done float64) {
+	start := at
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	lat := d.cfg.RowMissNs
+	p := d.page(addr)
+	if !d.cfg.PostedWriteClosesPage && p == d.openPage {
+		lat = d.cfg.RowHitNs
+		d.rowHits++
+	} else {
+		d.rowMiss++
+	}
+	dur := lat + float64(words)*d.cfg.WordNs + d.cfg.WriteOpNs
+	d.freeAt = start + dur
+	d.busy += dur
+	if d.cfg.PostedWriteClosesPage {
+		d.openPage = -1
+	} else {
+		d.openPage = p
+	}
+	return d.freeAt
+}
+
+// claimEngine reserves the bank for a single-word engine (DMA/deposit)
+// operation: a full RAS/CAS cycle that closes the page, plus the
+// per-operation engine overhead.
+func (d *dram) claimEngine(at float64, addr int64) (done float64) {
+	start := at
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	d.rowMiss++
+	dur := d.cfg.RowMissNs + d.cfg.WordNs + d.cfg.EngineOpNs
+	d.freeAt = start + dur
+	d.busy += dur
+	d.openPage = -1
+	return d.freeAt
+}
+
+// freeTime returns when the bank next becomes idle.
+func (d *dram) freeTime() float64 { return d.freeAt }
+
+func (d *dram) reset() {
+	d.freeAt = 0
+	d.openPage = -1
+	d.busy = 0
+	d.rowHits = 0
+	d.rowMiss = 0
+}

@@ -1,0 +1,316 @@
+package memsim
+
+import (
+	"fmt"
+
+	"ctcomm/internal/pattern"
+)
+
+// Result summarizes one simulated access stream.
+type Result struct {
+	ElapsedNs    float64 // end-to-end time including final write drain
+	DRAMBusyNs   float64 // cumulative DRAM bank occupancy
+	PayloadBytes int64   // bytes of payload moved (overhead refs excluded)
+	Loads        int64
+	Stores       int64
+	CacheHits    int64
+	CacheMisses  int64
+	RowHits      int64
+	RowMisses    int64
+}
+
+// MBps returns the payload throughput in MB/s (1 MB = 1e6 bytes), the
+// unit used throughout the paper.
+func (r Result) MBps() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.PayloadBytes) * 1e3 / r.ElapsedNs
+}
+
+// MBps converts a byte count and a duration in ns to MB/s.
+func MBps(bytes int64, ns float64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(bytes) * 1e3 / ns
+}
+
+// Memory is one node's memory system simulator. It is not safe for
+// concurrent use; each simulated node owns one Memory.
+type Memory struct {
+	cfg   Config
+	cache *cache
+	dram  *dram
+
+	// Read-ahead (RDAL) stream-buffer state.
+	sbValid      bool
+	sbLine       int64
+	sbReadyNs    float64
+	lastMissLine int64
+
+	// Posted-write queue: the open (merging) entry plus completion times
+	// of closed entries still draining.
+	wbOpen     bool
+	wbLine     int64
+	wbWords    int
+	wbOutstand []float64
+	// Pipelined-load queue: completion times of outstanding loads, plus
+	// the last pipelined address for 128-bit (quad) load pairing.
+	pfqOutstand []float64
+	pfqLastAddr int64
+}
+
+// New validates cfg and returns a fresh memory system.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{cfg: cfg, lastMissLine: -1 << 40}
+	m.cache = newCache(&m.cfg)
+	m.dram = newDRAM(&m.cfg)
+	return m, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the configuration the memory was built with.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Reset clears all cache, DRAM and queue state and rewinds time to zero.
+func (m *Memory) Reset() {
+	m.cache = newCache(&m.cfg)
+	m.dram = newDRAM(&m.cfg)
+	m.sbValid = false
+	m.sbReadyNs = 0
+	m.lastMissLine = -1 << 40
+	m.wbOpen = false
+	m.wbOutstand = m.wbOutstand[:0]
+	m.pfqOutstand = m.pfqOutstand[:0]
+}
+
+// InvalidateAll models a synchronization point: the T3D invalidates the
+// whole on-chip cache when the program reaches one (paper §3.5.1).
+func (m *Memory) InvalidateAll() { m.cache.invalidateAll() }
+
+// Invalidate drops one line, as the deposit engine does per remote store.
+func (m *Memory) Invalidate(addr int64) { m.cache.invalidate(addr) }
+
+// Run executes the access stream on the processor and returns timing.
+// Time starts at zero for each Run; DRAM page and cache state carry over
+// between runs so warm-up effects can be studied explicitly.
+func (m *Memory) Run(accesses []pattern.Access) Result {
+	var res Result
+	t := 0.0
+	m.dram.freeAt = 0 // time is per-run; state (open page) carries over
+	startRowHits, startRowMiss := m.dram.rowHits, m.dram.rowMiss
+	startHits, startMiss := m.cache.hits, m.cache.misses
+	m.wbOutstand = m.wbOutstand[:0]
+	m.pfqOutstand = m.pfqOutstand[:0]
+
+	for _, a := range accesses {
+		if a.Write {
+			t = m.store(t, a.Addr)
+			res.Stores++
+		} else {
+			t = m.load(t, a.Addr)
+			res.Loads++
+		}
+		if !a.Overhead {
+			res.PayloadBytes += pattern.WordBytes
+		}
+	}
+	t = m.flush(t)
+
+	res.ElapsedNs = t
+	res.DRAMBusyNs = m.dram.busy
+	res.CacheHits = m.cache.hits - startHits
+	res.CacheMisses = m.cache.misses - startMiss
+	res.RowHits = m.dram.rowHits - startRowHits
+	res.RowMisses = m.dram.rowMiss - startRowMiss
+	m.dram.busy = 0
+	return res
+}
+
+// load processes one word load at processor time t and returns the new
+// processor time.
+func (m *Memory) load(t float64, addr int64) float64 {
+	t += m.cfg.IssueLoadCy * m.cfg.ClockNs
+	if m.cache.access(addr) {
+		return t
+	}
+	line := m.cache.line(addr)
+
+	// Stream-buffer (RDAL) hit: the line was prefetched; consume it and
+	// keep the prefetcher one line ahead.
+	if m.cfg.ReadAhead && m.sbValid && line == m.sbLine {
+		if m.sbReadyNs > t {
+			t = m.sbReadyNs
+		}
+		t += m.cfg.StreamHitCy * m.cfg.ClockNs
+		m.cache.fill(addr)
+		next := (line + 1) * int64(m.cfg.LineBytes)
+		m.sbLine = line + 1
+		m.sbReadyNs = m.dram.claim(t, next, m.cfg.LineWords())
+		m.lastMissLine = line
+		return t
+	}
+
+	seq := line == m.lastMissLine+1
+	m.lastMissLine = line
+
+	// Pipelined (PFQ) load for non-sequential misses: single-word DRAM
+	// read with per-transaction bus cost, no cache fill, latency hidden
+	// up to the queue depth. Two words in the same 16-byte quad share
+	// one 128-bit pipelined load (i860 fld.q), so the second is free —
+	// this is what makes dense block-strided runs cheaper than
+	// single-word strides.
+	if m.cfg.PFQDepth > 0 && !seq {
+		if addr>>4 == m.pfqLastAddr>>4 && len(m.pfqOutstand) > 0 {
+			return t
+		}
+		m.pfqLastAddr = addr
+		if len(m.pfqOutstand) >= m.cfg.PFQDepth {
+			if m.pfqOutstand[0] > t {
+				t = m.pfqOutstand[0]
+			}
+			m.pfqOutstand = m.pfqOutstand[1:]
+		}
+		done := m.dram.claim(t, addr, 2) + m.cfg.PFQOpNs
+		m.dram.freeAt = done
+		m.dram.busy += m.cfg.PFQOpNs
+		m.pfqOutstand = append(m.pfqOutstand, done)
+		return t
+	}
+
+	// Blocking line fill. With critical-word-first support a sequential
+	// fill restarts the processor as soon as the first word arrives
+	// while the line keeps streaming; otherwise (and for non-sequential
+	// fills) the processor waits for the whole line.
+	claimAt := t + m.cfg.BusOverheadNs/2
+	dataAt, done := m.dram.claimCW(claimAt, addr, m.cfg.LineWords())
+	if seq && m.cfg.CriticalWordFirst {
+		t = dataAt + m.cfg.BusOverheadNs/2
+	} else {
+		t = done + m.cfg.BusOverheadNs/2
+	}
+	if victim, wasDirty := m.cache.fill(addr); wasDirty {
+		// Write-back policy: the dirty victim drains to memory in the
+		// background (posted).
+		m.dram.claimPosted(t, victim*int64(m.cfg.LineBytes), m.cfg.LineWords())
+	}
+
+	// Second sequential miss in a row arms the read-ahead unit.
+	if m.cfg.ReadAhead && seq {
+		next := (line + 1) * int64(m.cfg.LineBytes)
+		m.sbValid = true
+		m.sbLine = line + 1
+		m.sbReadyNs = m.dram.claim(t, next, m.cfg.LineWords())
+	}
+	return t
+}
+
+// store processes one word store at processor time t.
+func (m *Memory) store(t float64, addr int64) float64 {
+	t += m.cfg.IssueStoreCy * m.cfg.ClockNs
+	switch m.cfg.Policy {
+	case WriteThrough:
+		// Update the cached copy if present; no extra time.
+		if m.cache.lookup(addr) {
+			m.cache.access(addr)
+		}
+	case WriteBack:
+		// Hit: dirty the line and stop — no memory traffic at all.
+		if m.cache.markDirty(addr) {
+			return t
+		}
+		// Miss: write-allocate. Fetch the line (blocking, like a load
+		// miss), write back any dirty victim, then dirty the new line.
+		claimAt := t + m.cfg.BusOverheadNs/2
+		_, done := m.dram.claimCW(claimAt, addr, m.cfg.LineWords())
+		t = done + m.cfg.BusOverheadNs/2
+		if victim, wasDirty := m.cache.fill(addr); wasDirty {
+			m.dram.claimPosted(t, victim*int64(m.cfg.LineBytes), m.cfg.LineWords())
+		}
+		m.cache.markDirty(addr)
+		return t
+	default:
+		// Write-around: keep the cache coherent by dropping a stale line.
+		m.cache.invalidate(addr)
+	}
+
+	if m.cfg.WBQEntries == 0 {
+		// Blocking store: pays the bus round trip like a blocking load.
+		done := m.dram.claim(t+m.cfg.BusOverheadNs/2, addr, 1)
+		t = done + m.cfg.BusOverheadNs/2
+		return t
+	}
+
+	line := m.cache.line(addr)
+	if m.wbOpen && line == m.wbLine {
+		m.wbWords++
+		if m.wbWords >= m.cfg.LineWords() {
+			t = m.closeWB(t)
+		}
+		return t
+	}
+	if m.wbOpen {
+		t = m.closeWB(t)
+	}
+	// Wait for a free queue slot (oldest drain to finish) if needed.
+	for len(m.wbOutstand) >= m.cfg.WBQEntries {
+		if m.wbOutstand[0] > t {
+			t = m.wbOutstand[0]
+		}
+		m.wbOutstand = m.wbOutstand[1:]
+	}
+	m.wbOpen = true
+	m.wbLine = line
+	m.wbWords = 1
+	return t
+}
+
+// closeWB drains the open write entry to DRAM and records its completion.
+func (m *Memory) closeWB(t float64) float64 {
+	done := m.dram.claimPosted(t, m.wbLine*int64(m.cfg.LineBytes), m.wbWords)
+	m.wbOutstand = append(m.wbOutstand, done)
+	m.wbOpen = false
+	m.wbWords = 0
+	return t
+}
+
+// flush completes all posted writes and outstanding pipelined loads.
+func (m *Memory) flush(t float64) float64 {
+	if m.wbOpen {
+		t = m.closeWB(t)
+	}
+	for _, d := range m.wbOutstand {
+		if d > t {
+			t = d
+		}
+	}
+	m.wbOutstand = m.wbOutstand[:0]
+	for _, d := range m.pfqOutstand {
+		if d > t {
+			t = d
+		}
+	}
+	m.pfqOutstand = m.pfqOutstand[:0]
+	m.pfqLastAddr = -1 << 40
+	m.sbValid = false
+	return t
+}
+
+// String identifies the memory system in diagnostics.
+func (m *Memory) String() string {
+	return fmt.Sprintf("memsim(%s: %dKB/%dB %d-way %v, page %dB, row %g/%g ns, word %g ns)",
+		m.cfg.Name, m.cfg.CacheBytes/1024, m.cfg.LineBytes, m.cfg.Ways, m.cfg.Policy,
+		m.cfg.PageBytes, m.cfg.RowHitNs, m.cfg.RowMissNs, m.cfg.WordNs)
+}

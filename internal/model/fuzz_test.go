@@ -1,0 +1,61 @@
+package model
+
+import (
+	"testing"
+
+	"ctcomm/internal/netsim"
+)
+
+// FuzzParse exercises the expression parser with arbitrary input: it
+// must never panic, and anything it accepts must re-parse to the same
+// canonical form (print/parse fixed point).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1C1",
+		"wC1 o (1S0 || Nd || 0D1) o 1Cw",
+		"64x2C1",
+		"(1C1 o 1C1) || Nadp",
+		"1C64 o 64C1",
+		"o", "||", "((", "Nd Nd", "1C1 o (1S0",
+		"∘ ‖", "0D0", "1Q1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		e, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canon := e.String()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("accepted %q -> %q, which does not re-parse: %v", text, canon, err)
+		}
+		if e2.String() != canon {
+			t.Fatalf("print/parse not a fixed point: %q -> %q", canon, e2.String())
+		}
+		// Anything parseable must evaluate against a fully-populated
+		// table without panicking (errors are fine: unusual patterns may
+		// have no rate).
+		rt := PaperT3D()
+		rt.SetNet(netsim.DataOnly, 2, 69)
+		_, _ = Evaluate(e, rt, 2)
+	})
+}
+
+// FuzzParseTerm checks the term key parser for panics and round trips.
+func FuzzParseTerm(f *testing.F) {
+	for _, seed := range []string{"1C1", "64S0", "0Dw", "wC64", "64x2C1", "xCx", "1Q1", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		term, err := ParseTerm(key)
+		if err != nil {
+			return
+		}
+		back, err := ParseTerm(term.Key())
+		if err != nil || back != term {
+			t.Fatalf("term round trip failed: %q -> %v -> %v (%v)", key, term, back, err)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package model
+
+import "ctcomm/internal/netsim"
+
+// Published measurement tables from the paper (Tables 1-4), in MB/s.
+// These parameterize the model exactly as the authors' live measurements
+// did; internal/calibrate produces the equivalent tables from the
+// simulated machines.
+
+// PaperT3D returns the paper's measured basic-transfer rates for the
+// Cray T3D.
+func PaperT3D() *RateTable {
+	rt := NewRateTable("paper/T3D")
+	for key, mbps := range map[string]float64{
+		// Table 1: local memory-to-memory copies.
+		"1C1": 93, "1C64": 67.9, "64C1": 33.3, "1Cw": 38.5, "wC1": 32.9,
+		// Table 2: send transfers.
+		"1S0": 126, "64S0": 35, "wS0": 32,
+		// Table 3: receive transfers.
+		"0D1": 142, "0D64": 52, "0Dw": 52,
+	} {
+		rt.SetKey(key, mbps)
+	}
+	// Table 4: network bandwidth vs. fixed congestion.
+	for c, mbps := range map[float64]float64{1: 142, 2: 69, 4: 35} {
+		rt.SetNet(netsim.DataOnly, c, mbps)
+	}
+	for c, mbps := range map[float64]float64{1: 62, 2: 38, 4: 20} {
+		rt.SetNet(netsim.AddrData, c, mbps)
+	}
+	return rt
+}
+
+// PaperParagon returns the paper's measured basic-transfer rates for the
+// Intel Paragon.
+func PaperParagon() *RateTable {
+	rt := NewRateTable("paper/Paragon")
+	for key, mbps := range map[string]float64{
+		// Table 1.
+		"1C1": 67.6, "1C64": 27.6, "64C1": 31.1, "1Cw": 35.2, "wC1": 45.1,
+		// Table 2.
+		"1S0": 52, "1F0": 160, "64S0": 42, "wS0": 36,
+		// Table 3.
+		"0R1": 82, "0R64": 38, "0Rw": 42, "0D1": 160,
+	} {
+		rt.SetKey(key, mbps)
+	}
+	// Table 4.
+	for c, mbps := range map[float64]float64{1: 176, 2: 90, 4: 44} {
+		rt.SetNet(netsim.DataOnly, c, mbps)
+	}
+	for c, mbps := range map[float64]float64{1: 88, 2: 45, 4: 22} {
+		rt.SetNet(netsim.AddrData, c, mbps)
+	}
+	return rt
+}
+
+// PaperTables returns both published tables keyed by machine name as
+// used by internal/machine profiles.
+func PaperTables() map[string]*RateTable {
+	return map[string]*RateTable{
+		"Cray T3D":      PaperT3D(),
+		"Intel Paragon": PaperParagon(),
+	}
+}

@@ -1,0 +1,152 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"ctcomm/internal/netsim"
+)
+
+// Parse reads a copy-transfer expression in the paper's notation, e.g.
+//
+//	1C64
+//	1S0 || Nd || 0D1
+//	wC1 o (1S0 || Nd || 0D1) o 1Cw
+//
+// Accepted operators: "o", "∘" for sequential composition and "||", "‖"
+// for parallel composition. Sequential composition binds tighter than
+// parallel composition; parentheses group. Network leaves are "Nd" and
+// "Nadp".
+func Parse(text string) (Expr, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parsePar()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("model: trailing input %q", p.toks[p.pos])
+	}
+	if err := Check(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and tables.
+func MustParse(text string) Expr {
+	e, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func lex(text string) ([]string, error) {
+	replacer := strings.NewReplacer("∘", " o ", "‖", " || ", "(", " ( ", ")", " ) ")
+	text = replacer.Replace(text)
+	fields := strings.Fields(text)
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		// Split any accidental "||"-adjacent junk conservatively: fields
+		// are already whitespace separated; just validate shape later.
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("model: empty expression")
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// parsePar := parseSeq ('||' parseSeq)*
+func (p *parser) parsePar() (Expr, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.peek() == "||" {
+		p.next()
+		e, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return NewPar(parts...), nil
+}
+
+// parseSeq := primary ('o' primary)*
+func (p *parser) parseSeq() (Expr, error) {
+	first, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.peek() == "o" {
+		p.next()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return NewSeq(parts...), nil
+}
+
+// parsePrimary := '(' parsePar ')' | term | 'Nd' | 'Nadp'
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.next()
+	switch tok {
+	case "":
+		return nil, fmt.Errorf("model: unexpected end of expression")
+	case "(":
+		e, err := p.parsePar()
+		if err != nil {
+			return nil, err
+		}
+		if got := p.next(); got != ")" {
+			return nil, fmt.Errorf("model: expected ')', got %q", got)
+		}
+		return e, nil
+	case ")", "o", "||":
+		return nil, fmt.Errorf("model: unexpected token %q", tok)
+	case "Nd":
+		return Net{netsim.DataOnly}, nil
+	case "Nadp":
+		return Net{netsim.AddrData}, nil
+	default:
+		t, err := ParseTerm(tok)
+		if err != nil {
+			return nil, err
+		}
+		return Basic{t}, nil
+	}
+}

@@ -1,0 +1,238 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ctcomm/internal/netsim"
+	"ctcomm/internal/pattern"
+)
+
+// RateTable holds measured throughput figures for basic transfers (MB/s)
+// plus network rates, and answers rate queries for arbitrary terms.
+//
+// Strided patterns are generalized the way the paper does in §4.2:
+// "Since the numbers do not vary for large strides, we assume for
+// simplicity that the throughput for stride 64 applies to any larger
+// stride." Strides between measured points are interpolated linearly in
+// log2(stride) on the reciprocal rate (time per word), which matches the
+// shape of the measured Figure 4 curves.
+type RateTable struct {
+	Name string
+
+	// rates maps a canonical term key ("64C1") to MB/s.
+	rates map[string]float64
+
+	// netPoints maps a mode to measured (congestion, MB/s) samples.
+	netPoints map[netsim.Mode]map[float64]float64
+}
+
+// NewRateTable returns an empty table.
+func NewRateTable(name string) *RateTable {
+	return &RateTable{
+		Name:      name,
+		rates:     make(map[string]float64),
+		netPoints: make(map[netsim.Mode]map[float64]float64),
+	}
+}
+
+// Set records the rate for a term.
+func (rt *RateTable) Set(t Term, mbps float64) {
+	rt.rates[t.Key()] = mbps
+}
+
+// SetKey records a rate under a raw key such as "64C1". The key is
+// parsed and canonicalized; invalid keys panic (tables are built from
+// trusted literals or calibration output).
+func (rt *RateTable) SetKey(key string, mbps float64) {
+	t, err := ParseTerm(key)
+	if err != nil {
+		panic(err)
+	}
+	rt.Set(t, mbps)
+}
+
+// SetNet records the network rate of a mode at a congestion factor.
+func (rt *RateTable) SetNet(m netsim.Mode, congestion, mbps float64) {
+	pts := rt.netPoints[m]
+	if pts == nil {
+		pts = make(map[float64]float64)
+		rt.netPoints[m] = pts
+	}
+	pts[congestion] = mbps
+}
+
+// Keys returns the term keys present, sorted.
+func (rt *RateTable) Keys() []string {
+	ks := make([]string, 0, len(rt.rates))
+	for k := range rt.rates {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Rate returns the throughput for a term, generalizing over strides as
+// described above. It fails if no applicable measurement exists.
+func (rt *RateTable) Rate(t Term) (float64, error) {
+	if r, ok := rt.rates[t.Key()]; ok {
+		return r, nil
+	}
+	// Generalize a strided side against measured stride points.
+	if t.Read.Kind() == pattern.KindStrided {
+		if r, ok := rt.interpStride(t, true); ok {
+			return r, nil
+		}
+	}
+	if t.Write.Kind() == pattern.KindStrided {
+		if r, ok := rt.interpStride(t, false); ok {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("model: %s: no rate for %s", rt.Name, t)
+}
+
+// interpStride generalizes the strided read (readSide) or write side of
+// t using every measured entry that matches the term elsewhere. Only
+// entries with the same dense-block length are comparable; contiguous
+// entries count as the stride == block endpoint. When no same-block
+// measurements exist, a block-strided pattern falls back to the plain
+// strided curve at its per-word mean distance (stride/block).
+func (rt *RateTable) interpStride(t Term, readSide bool) (float64, bool) {
+	type pt struct {
+		stride int
+		rate   float64
+	}
+	var pts []pt
+	side := t.Read
+	if !readSide {
+		side = t.Write
+	}
+	target := side.Stride()
+	block := side.Block()
+	sameBlock := 0
+	for key, rate := range rt.rates {
+		mt, err := ParseTerm(key)
+		if err != nil || mt.Op != t.Op {
+			continue
+		}
+		var mside pattern.Spec
+		if readSide {
+			if mt.Write != t.Write {
+				continue
+			}
+			mside = mt.Read
+		} else {
+			if mt.Read != t.Read {
+				continue
+			}
+			mside = mt.Write
+		}
+		switch mside.Kind() {
+		case pattern.KindContig:
+			// Contiguous is the stride == block endpoint of the curve.
+			pts = append(pts, pt{block, rate})
+		case pattern.KindStrided:
+			if mside.Block() != block {
+				continue
+			}
+			pts = append(pts, pt{mside.Stride(), rate})
+			sameBlock++
+		}
+	}
+	if block > 1 && sameBlock == 0 {
+		// No block-strided measurements: approximate with the plain
+		// strided curve at the per-word mean distance.
+		eq := target / block
+		if eq < 2 {
+			eq = 2
+		}
+		fb := t
+		if readSide {
+			fb.Read = pattern.Strided(eq)
+		} else {
+			fb.Write = pattern.Strided(eq)
+		}
+		if r, err := rt.Rate(fb); err == nil {
+			return r, true
+		}
+	}
+	if len(pts) == 0 {
+		return 0, false
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].stride < pts[j].stride })
+	// Beyond the largest measured stride: the paper's rule, use it as is.
+	if target >= pts[len(pts)-1].stride {
+		return pts[len(pts)-1].rate, true
+	}
+	if target <= pts[0].stride {
+		return pts[0].rate, true
+	}
+	// Interpolate time-per-word linearly in log2(stride) between the
+	// bracketing measurements.
+	for i := 0; i+1 < len(pts); i++ {
+		lo, hi := pts[i], pts[i+1]
+		if target < lo.stride || target > hi.stride {
+			continue
+		}
+		f := (math.Log2(float64(target)) - math.Log2(float64(lo.stride))) /
+			(math.Log2(float64(hi.stride)) - math.Log2(float64(lo.stride)))
+		invRate := (1-f)/lo.rate + f/hi.rate
+		return 1 / invRate, true
+	}
+	return 0, false
+}
+
+// NetRate returns the network rate for a mode at a congestion factor.
+// Exact measured points are returned directly; otherwise the nearest
+// point is scaled by the bandwidth-division law rate ∝ 1/congestion
+// (paper Table 4 is, to measurement noise, exactly that law).
+func (rt *RateTable) NetRate(m netsim.Mode, congestion float64) (float64, error) {
+	if congestion < 1 {
+		congestion = 1
+	}
+	pts := rt.netPoints[m]
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("model: %s: no network rates for %s", rt.Name, m)
+	}
+	if r, ok := pts[congestion]; ok {
+		return r, nil
+	}
+	bestC, bestD := 0.0, math.Inf(1)
+	for c := range pts {
+		d := math.Abs(math.Log(c) - math.Log(congestion))
+		if d < bestD {
+			bestC, bestD = c, d
+		}
+	}
+	return pts[bestC] * bestC / congestion, nil
+}
+
+// ParseTerm parses a canonical term key such as "64C1", "wS0" or "0Dw".
+func ParseTerm(key string) (Term, error) {
+	opIdx := -1
+	for i := 0; i < len(key); i++ {
+		if Op(key[i]).Valid() {
+			// The op letter must not be the first or last character and
+			// must split the key into two parseable patterns; "w" and
+			// digits are never valid ops so this is unambiguous except
+			// for 'C','S','F','R','D' themselves, which cannot appear in
+			// pattern spellings.
+			opIdx = i
+			break
+		}
+	}
+	if opIdx <= 0 || opIdx == len(key)-1 {
+		return Term{}, fmt.Errorf("model: invalid term key %q", key)
+	}
+	read, err := pattern.ParseSpec(key[:opIdx])
+	if err != nil {
+		return Term{}, fmt.Errorf("model: invalid read pattern in %q: %v", key, err)
+	}
+	write, err := pattern.ParseSpec(key[opIdx+1:])
+	if err != nil {
+		return Term{}, fmt.Errorf("model: invalid write pattern in %q: %v", key, err)
+	}
+	return NewTerm(Op(key[opIdx]), read, write)
+}

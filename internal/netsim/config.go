@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ctcomm/internal/pattern"
+)
+
+// Mode selects the framing of an inter-node transfer (paper §3.2).
+type Mode int
+
+const (
+	// DataOnly is the Nd transfer: only payload words cross the network,
+	// framed into packets with a fixed header.
+	DataOnly Mode = iota
+	// AddrData is the Nadp transfer: a remote-store address travels with
+	// every payload word ("all current systems choose the
+	// address-data-pair variant", paper §3.2).
+	AddrData
+)
+
+// String renders the mode in the paper's notation.
+func (m Mode) String() string {
+	switch m {
+	case DataOnly:
+		return "Nd"
+	case AddrData:
+		return "Nadp"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the links and framing of a network.
+type Config struct {
+	Name string
+
+	// LinkMBps is the effective per-link bandwidth after routing control
+	// (the paper quotes ~160 MB/s for both machines after overheads on
+	// 300/200 MB/s raw links).
+	LinkMBps float64
+
+	// Packet framing for data-only (Nd) transfers.
+	PacketPayloadBytes int
+	PacketHeaderBytes  int
+
+	// Address-data-pair framing for Nadp transfers: per 8-byte payload
+	// word, AddrBytes of address plus PairControlBytes of control cross
+	// the wire.
+	AddrBytes        int
+	PairControlBytes int
+
+	// NodesPerPort is how many nodes share one network access point.
+	// Two on the T3D ("two adjacent nodes share a single communication
+	// port ... therefore the minimal congestion is two", paper §4.3).
+	NodesPerPort int
+
+	// ChunkBytes is the store-and-forward granularity of the event-driven
+	// simulation; small chunks approximate wormhole pipelining.
+	ChunkBytes int
+
+	// HopLatencyNs is the per-hop wire/switch latency, relevant only for
+	// request-response (get) traffic: throughput is latency-insensitive,
+	// but "when withdrawing data, the latency is higher since address
+	// information has to travel first" (paper §3.5 footnote 2).
+	HopLatencyNs float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.LinkMBps <= 0:
+		return fmt.Errorf("netsim: %s: LinkMBps must be positive", c.Name)
+	case c.PacketPayloadBytes <= 0 || c.PacketHeaderBytes < 0:
+		return fmt.Errorf("netsim: %s: invalid packet framing", c.Name)
+	case c.AddrBytes < 0 || c.PairControlBytes < 0:
+		return fmt.Errorf("netsim: %s: invalid pair framing", c.Name)
+	case c.NodesPerPort < 1:
+		return fmt.Errorf("netsim: %s: NodesPerPort must be >= 1", c.Name)
+	case c.ChunkBytes <= 0:
+		return fmt.Errorf("netsim: %s: ChunkBytes must be positive", c.Name)
+	case c.HopLatencyNs < 0:
+		return fmt.Errorf("netsim: %s: HopLatencyNs must be non-negative", c.Name)
+	}
+	return nil
+}
+
+// Efficiency returns the payload fraction of wire traffic for a mode.
+func (c Config) Efficiency(m Mode) float64 {
+	switch m {
+	case DataOnly:
+		p := float64(c.PacketPayloadBytes)
+		return p / (p + float64(c.PacketHeaderBytes))
+	case AddrData:
+		w := float64(pattern.WordBytes)
+		return w / (w + float64(c.AddrBytes) + float64(c.PairControlBytes))
+	default:
+		return 0
+	}
+}
+
+// Rate returns the payload network bandwidth in MB/s for the mode under
+// the given congestion factor ("a network link is traversed by
+// [congestion] times as much data as it can support at peak speed",
+// paper §4.3). Congestion below one is clamped to one.
+func (c Config) Rate(m Mode, congestion float64) float64 {
+	if congestion < 1 {
+		congestion = 1
+	}
+	return c.LinkMBps * c.Efficiency(m) / congestion
+}
+
+// WireBytes returns how many bytes actually cross a link for the given
+// payload size under the mode's framing.
+func (c Config) WireBytes(m Mode, payload int64) int64 {
+	if payload <= 0 {
+		return 0
+	}
+	switch m {
+	case DataOnly:
+		packets := (payload + int64(c.PacketPayloadBytes) - 1) / int64(c.PacketPayloadBytes)
+		return payload + packets*int64(c.PacketHeaderBytes)
+	case AddrData:
+		words := (payload + pattern.WordBytes - 1) / pattern.WordBytes
+		return payload + words*int64(c.AddrBytes+c.PairControlBytes)
+	default:
+		return payload
+	}
+}

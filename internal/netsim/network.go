@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ctcomm/internal/sim"
+)
+
+// Network is the event-level simulator: it pushes chunked messages over
+// the directed links of a topology, with per-link serialization, shared
+// injection/ejection ports, and mode-dependent framing overhead. Chunks
+// of concurrent messages in one Batch are interleaved round-robin; the
+// paper notes that for a throughput-oriented model it is irrelevant
+// whether data multiplexes per flit or per message (§4.3).
+type Network struct {
+	topo  Topology
+	cfg   Config
+	links map[int]*sim.Resource
+	inj   map[int]*sim.Resource
+	ej    map[int]*sim.Resource
+}
+
+// NewNetwork validates cfg and builds an idle network over topo.
+func NewNetwork(topo Topology, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		topo:  topo,
+		cfg:   cfg,
+		links: make(map[int]*sim.Resource),
+		inj:   make(map[int]*sim.Resource),
+		ej:    make(map[int]*sim.Resource),
+	}, nil
+}
+
+// MustNewNetwork is NewNetwork for known-good configurations.
+func MustNewNetwork(topo Topology, cfg Config) *Network {
+	n, err := NewNetwork(topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Reset returns all links and ports to idle.
+func (n *Network) Reset() {
+	n.links = make(map[int]*sim.Resource)
+	n.inj = make(map[int]*sim.Resource)
+	n.ej = make(map[int]*sim.Resource)
+}
+
+func (n *Network) link(id int) *sim.Resource {
+	r, ok := n.links[id]
+	if !ok {
+		r = sim.NewResource(fmt.Sprintf("link%d", id))
+		n.links[id] = r
+	}
+	return r
+}
+
+func (n *Network) port(m map[int]*sim.Resource, kind string, node int) *sim.Resource {
+	p := node / n.cfg.NodesPerPort
+	r, ok := m[p]
+	if !ok {
+		r = sim.NewResource(fmt.Sprintf("%s%d", kind, p))
+		m[p] = r
+	}
+	return r
+}
+
+// nsPerByte converts the link bandwidth to ns per wire byte.
+func (n *Network) nsPerByte() float64 { return 1e3 / n.cfg.LinkMBps }
+
+// path returns the resource chain a message from src to dst traverses:
+// injection port, route links, ejection port.
+func (n *Network) path(src, dst int) []*sim.Resource {
+	route := n.topo.Route(src, dst)
+	rs := make([]*sim.Resource, 0, len(route)+2)
+	rs = append(rs, n.port(n.inj, "inj", src))
+	for _, l := range route {
+		rs = append(rs, n.link(l))
+	}
+	rs = append(rs, n.port(n.ej, "ej", dst))
+	return rs
+}
+
+// Send pushes one message and returns its delivery time. The payload is
+// expanded to wire bytes per the mode's framing and cut into chunks that
+// traverse the path store-and-forward; with the default small chunk size
+// this approximates wormhole pipelining.
+func (n *Network) Send(at sim.Time, src, dst int, payload int64, mode Mode) sim.Time {
+	done, _ := n.Batch(at, []Flow{{Src: src, Dst: dst, Bytes: payload}}, mode)
+	return done[0]
+}
+
+// Batch pushes a set of concurrent flows starting at time at and
+// returns the per-flow delivery times and the overall makespan. Flows
+// between identical nodes complete immediately.
+//
+// The simulation is event-driven store-and-forward at chunk
+// granularity: every resource (injection port, link, ejection port)
+// serves queued chunks first-come-first-served, a chunk advances to the
+// next hop when its service there completes, and a flow's next chunk
+// enters the injection port as soon as the previous one leaves it.
+// With the default small chunk size this approximates wormhole
+// pipelining while letting congestion emerge from real link contention.
+func (n *Network) Batch(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, makespan sim.Time) {
+	done = make([]sim.Time, len(flows))
+	makespan = at
+
+	type flowState struct {
+		path      []*sim.Resource
+		chunks    int64 // total chunks
+		lastBytes int64 // size of the final chunk
+		launched  int64 // chunks that entered hop 0
+	}
+	// chunk in flight: identified by flow index, chunk index, hop index.
+	type arrival struct {
+		flow, hop int
+		chunk     int64
+		t         sim.Time
+		seq       uint64
+	}
+
+	states := make([]*flowState, len(flows))
+	perByte := n.nsPerByte()
+	chunkBytes := int64(n.cfg.ChunkBytes)
+	for i, f := range flows {
+		wire := n.cfg.WireBytes(mode, f.Bytes)
+		if f.Src == f.Dst || wire == 0 {
+			done[i] = at
+			continue
+		}
+		chunks := (wire + chunkBytes - 1) / chunkBytes
+		last := wire - (chunks-1)*chunkBytes
+		states[i] = &flowState{
+			path:      n.path(f.Src, f.Dst),
+			chunks:    chunks,
+			lastBytes: last,
+		}
+	}
+
+	durOf := func(st *flowState, chunk int64) sim.Time {
+		bytes := chunkBytes
+		if chunk == st.chunks-1 {
+			bytes = st.lastBytes
+		}
+		d := sim.Time(float64(bytes)*perByte + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+
+	// Per-resource FIFO queues plus a global time-ordered agenda of
+	// arrivals. Resources serve arrivals in (time, seq) order, which the
+	// heap guarantees by construction: we always process the earliest
+	// pending arrival and claim its resource then.
+	eng := sim.NewEngine()
+	var seq uint64
+	var deliver func(a arrival)
+	deliver = func(a arrival) {
+		st := states[a.flow]
+		res := st.path[a.hop]
+		_, end := res.Claim(a.t, durOf(st, a.chunk))
+		if a.hop == 0 && a.chunk+1 < st.chunks {
+			// The next chunk may enter the injection port once this one
+			// left it.
+			next := arrival{flow: a.flow, hop: 0, chunk: a.chunk + 1, t: end, seq: seq}
+			seq++
+			st.launched++
+			eng.Schedule(end, func() { deliver(next) })
+		}
+		if a.hop+1 < len(st.path) {
+			nxt := arrival{flow: a.flow, hop: a.hop + 1, chunk: a.chunk, t: end, seq: seq}
+			seq++
+			eng.Schedule(end, func() { deliver(nxt) })
+			return
+		}
+		// Final hop: delivery.
+		if end > done[a.flow] {
+			done[a.flow] = end
+		}
+		if end > makespan {
+			makespan = end
+		}
+	}
+	for i, st := range states {
+		if st == nil {
+			continue
+		}
+		first := arrival{flow: i, hop: 0, chunk: 0, t: at, seq: seq}
+		seq++
+		st.launched = 1
+		eng.Schedule(at, func() { deliver(first) })
+	}
+	eng.Run()
+	return done, makespan
+}

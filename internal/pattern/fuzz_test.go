@@ -1,0 +1,21 @@
+package pattern
+
+import "testing"
+
+// FuzzParseSpec: the pattern parser must never panic and accepted specs
+// must round-trip through String.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{"0", "1", "64", "w", "ω", "64x2", "2x4", "x", "-1", "1x1", "1024"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil || back != s {
+			t.Fatalf("spec round trip failed: %q -> %v -> %v (%v)", text, s, back, err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package pattern
+
+// Deterministic pseudo-random index-array generators. The paper's indexed
+// pattern ω is "an arbitrary sequence of words ... determined by indices
+// given in a separate index array" (§2.2), typically a permutation
+// (A[1:n] = B[X[1:n]] with X a duplicate-free permutation, §2.1).
+//
+// All generators are seeded and reproducible; no global randomness is
+// used so simulation results are stable across runs.
+
+// rng is a small xorshift64* generator; good enough for shuffling and
+// fully deterministic.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// Permutation returns a duplicate-free permutation of the word offsets
+// 0..n-1 using a Fisher-Yates shuffle seeded with seed.
+func Permutation(n int, seed uint64) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = int64(i)
+	}
+	r := newRNG(seed)
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// BlockedPermutation permutes blocks of blockWords consecutive words.
+// This models irregular distributions that still move small dense blocks
+// (e.g. multi-word elements of sparse matrix rows).
+func BlockedPermutation(n, blockWords int, seed uint64) []int64 {
+	if blockWords < 1 {
+		blockWords = 1
+	}
+	blocks := (n + blockWords - 1) / blockWords
+	bp := Permutation(blocks, seed)
+	out := make([]int64, 0, n)
+	for _, b := range bp {
+		for w := 0; w < blockWords && len(out) < n; w++ {
+			off := b*int64(blockWords) + int64(w)
+			if off < int64(n) {
+				out = append(out, off)
+			}
+		}
+	}
+	// Pad in the rare case trailing partial blocks were skipped.
+	for len(out) < n {
+		out = append(out, int64(len(out)))
+	}
+	return out
+}
+
+// GatherIndices returns a sorted, duplicate-free selection of k word
+// offsets out of 0..n-1. This is the FEM halo-exchange shape: "only a
+// fraction of the local data elements is exchanged between nodes"
+// (paper §6.1.2).
+func GatherIndices(n, k int, seed uint64) []int64 {
+	if k > n {
+		k = n
+	}
+	// Reservoir-free selection: walk 0..n-1 keeping each with the
+	// probability needed to end with exactly k picks.
+	out := make([]int64, 0, k)
+	r := newRNG(seed)
+	need, left := k, n
+	for i := 0; i < n && need > 0; i++ {
+		if r.intn(left) < need {
+			out = append(out, int64(i))
+			need--
+		}
+		left--
+	}
+	return out
+}
+
+// IsPermutation reports whether index is a duplicate-free permutation of
+// 0..len(index)-1.
+func IsPermutation(index []int64) bool {
+	seen := make([]bool, len(index))
+	for _, v := range index {
+		if v < 0 || v >= int64(len(index)) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package pattern
+
+import "fmt"
+
+// Access is one word-granularity memory reference in an address stream.
+type Access struct {
+	Addr  int64 // byte address of the referenced 64-bit word
+	Write bool  // true for a store, false for a load
+	// Overhead marks references that consume memory-system time but do
+	// not count as payload, e.g. loads of the index array itself
+	// (paper §2.2: "reading the index is considered to be part of the
+	// memory access operation and does not count towards ... bandwidth").
+	Overhead bool
+}
+
+// Stream generates the concrete address sequence for one side (read or
+// write) of a transfer. Streams are finite and deterministic.
+type Stream struct {
+	spec  Spec
+	base  int64
+	words int
+	index []int64 // word offsets, only for indexed streams
+	pos   int
+}
+
+// NewStream builds the address stream for spec starting at byte address
+// base and covering words payload words. Indexed specs require an index
+// slice of word offsets (one per payload word) supplied via WithIndex.
+func NewStream(spec Spec, base int64, words int) *Stream {
+	if words < 0 {
+		panic("pattern: negative word count")
+	}
+	return &Stream{spec: spec, base: base, words: words}
+}
+
+// WithIndex attaches the index array (word offsets relative to base) used
+// by indexed streams. It returns the stream for chaining.
+func (st *Stream) WithIndex(index []int64) *Stream {
+	st.index = index
+	return st
+}
+
+// Spec returns the symbolic pattern of the stream.
+func (st *Stream) Spec() Spec { return st.spec }
+
+// Words returns the number of payload words in the stream.
+func (st *Stream) Words() int { return st.words }
+
+// Reset rewinds the stream to its first access.
+func (st *Stream) Reset() { st.pos = 0 }
+
+// Next returns the byte address of the next payload word, or ok=false
+// when the stream is exhausted. Fixed streams repeatedly return the base
+// (port) address.
+func (st *Stream) Next() (addr int64, ok bool) {
+	if st.pos >= st.words {
+		return 0, false
+	}
+	i := st.pos
+	st.pos++
+	switch st.spec.kind {
+	case KindFixed:
+		return st.base, true
+	case KindContig:
+		return st.base + int64(i)*WordBytes, true
+	case KindStrided:
+		b := st.spec.Block()
+		run := int64(i / b)
+		within := int64(i % b)
+		return st.base + (run*int64(st.spec.stride)+within)*WordBytes, true
+	case KindIndexed:
+		if st.index == nil {
+			panic("pattern: indexed stream without index array")
+		}
+		return st.base + st.index[i]*WordBytes, true
+	default:
+		panic(fmt.Sprintf("pattern: unknown kind %v", st.spec.kind))
+	}
+}
+
+// Addresses materializes the whole stream as a slice of byte addresses.
+func (st *Stream) Addresses() []int64 {
+	out := make([]int64, 0, st.words)
+	st.Reset()
+	for {
+		a, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	st.Reset()
+	return out
+}
+
+// Footprint returns the extent in bytes from the lowest to one past the
+// highest referenced word, or 0 for empty and fixed streams.
+func (st *Stream) Footprint() int64 {
+	if st.words == 0 || st.spec.kind == KindFixed {
+		return 0
+	}
+	lo, hi := int64(1<<62), int64(-1<<62)
+	for _, a := range st.Addresses() {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	return hi - lo + WordBytes
+}
+
+// IndexBase is the byte address at which generated index arrays are
+// assumed to live; the simulators charge contiguous overhead loads from
+// this region for indexed streams.
+const IndexBase = 1 << 40
+
+// Accesses expands the stream into explicit word accesses, interleaving
+// the overhead loads of the index array for indexed streams: each payload
+// word of an indexed stream is preceded by a contiguous (32-bit packed,
+// charged at word granularity every other element) index load.
+func (st *Stream) Accesses(write bool) []Access {
+	out := make([]Access, 0, st.words*2)
+	st.Reset()
+	i := 0
+	for {
+		a, ok := st.Next()
+		if !ok {
+			break
+		}
+		if st.spec.kind == KindIndexed {
+			// Index entries are 32-bit; two fit one 64-bit word, so an
+			// index word load is charged for every other element.
+			if i%2 == 0 {
+				out = append(out, Access{
+					Addr:     IndexBase + int64(i/2)*WordBytes,
+					Write:    false,
+					Overhead: true,
+				})
+			}
+		}
+		out = append(out, Access{Addr: a, Write: write})
+		i++
+	}
+	st.Reset()
+	return out
+}

@@ -1,0 +1,120 @@
+// Package sim provides a small discrete-event simulation engine with a
+// nanosecond clock and serially-reusable resources. It is the timing
+// substrate shared by the memory-system, network and machine simulators:
+// all throughput figures in this repository are computed from simulated
+// time, never from wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// String renders the time in a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(t)/1e9)
+	case t >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	case t >= 1e3:
+		return fmt.Sprintf("%.3fus", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts simulated time to seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker for deterministic ordering
+	fn  func()
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// create engines with NewEngine.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+}
+
+// NewEngine returns an engine with the clock at zero and an empty agenda.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run at the absolute time at. Scheduling in the
+// past panics: it indicates a causality bug in a model.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events in timestamp order until the agenda is empty and
+// returns the final clock value.
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the later
+// of the last executed event and the previous clock (never past events
+// still pending).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2_500_000, "2.500ms"},
+		{3_000_000_000, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if s := Time(2_000_000_000).Seconds(); s != 2.0 {
+		t.Errorf("Seconds = %v, want 2.0", s)
+	}
+}
+
+func TestEngineRunsInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestEngineTiesAreFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	end := e.Run()
+	if end != 15 {
+		t.Errorf("end = %v, want 15", end)
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("After with negative delay should panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for _, at := range []Time{10, 20, 30, 40} {
+		e.Schedule(at, func() { count++ })
+	}
+	e.RunUntil(25)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if count != 4 {
+		t.Errorf("count after Run = %d, want 4", count)
+	}
+}
+
+func TestResourceSerializesClaims(t *testing.T) {
+	r := NewResource("cpu")
+	s1, e1 := r.Claim(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Errorf("first claim [%v,%v), want [0,10)", s1, e1)
+	}
+	// Overlapping claim must be pushed back.
+	s2, e2 := r.Claim(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Errorf("second claim [%v,%v), want [10,20)", s2, e2)
+	}
+	// A later claim starts on time.
+	s3, e3 := r.Claim(100, 1)
+	if s3 != 100 || e3 != 101 {
+		t.Errorf("third claim [%v,%v), want [100,101)", s3, e3)
+	}
+	if r.Busy() != 21 {
+		t.Errorf("busy = %v, want 21", r.Busy())
+	}
+	if r.Claims() != 3 {
+		t.Errorf("claims = %d, want 3", r.Claims())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("link")
+	r.Claim(0, 10)
+	r.Claim(10, 10)
+	if u := r.Utilization(); u != 1.0 {
+		t.Errorf("fully busy utilization = %v, want 1.0", u)
+	}
+	r.Reset()
+	if r.Utilization() != 0 {
+		t.Error("utilization after reset should be 0")
+	}
+	r.Claim(0, 10)
+	r.Claim(30, 10) // idle 10..30
+	if u := r.Utilization(); u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration should panic")
+		}
+	}()
+	NewResource("x").Claim(0, -1)
+}
+
+// Property: claims never overlap and never start before requested.
+func TestResourceClaimProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		r := NewResource("p")
+		var lastEnd Time
+		at := Time(0)
+		for _, q := range reqs {
+			dur := Time(q % 100)
+			start, end := r.Claim(at, dur)
+			if start < at || start < lastEnd || end != start+dur {
+				return false
+			}
+			lastEnd = end
+			at += Time(q % 37) // requests move forward in time
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineSingleStage(t *testing.T) {
+	r := []*Resource{NewResource("s0")}
+	d := [][]Time{{10}, {10}, {10}}
+	if got := Pipeline(r, d); got != 30 {
+		t.Errorf("makespan = %v, want 30", got)
+	}
+}
+
+func TestPipelineBottleneckDominates(t *testing.T) {
+	// Three stages; middle stage is the bottleneck at 10 per chunk.
+	rs := []*Resource{NewResource("a"), NewResource("b"), NewResource("c")}
+	const n = 100
+	d := make([][]Time, n)
+	for i := range d {
+		d[i] = []Time{2, 10, 3}
+	}
+	got := Pipeline(rs, d)
+	// Steady state: n*10 plus pipeline fill (2) and drain (3).
+	want := Time(n*10 + 2 + 3)
+	if got != want {
+		t.Errorf("makespan = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineEmpty(t *testing.T) {
+	if got := Pipeline(nil, nil); got != 0 {
+		t.Errorf("empty pipeline makespan = %v, want 0", got)
+	}
+}
+
+// Property: pipeline makespan is at least the busiest stage's total work
+// and at most the sum of all work (fully serial execution).
+func TestPipelineBoundsProperty(t *testing.T) {
+	f := func(work [][3]uint8) bool {
+		if len(work) == 0 {
+			return true
+		}
+		rs := []*Resource{NewResource("a"), NewResource("b"), NewResource("c")}
+		d := make([][]Time, len(work))
+		var stageSum [3]Time
+		var total Time
+		for i, w := range work {
+			d[i] = []Time{Time(w[0]), Time(w[1]), Time(w[2])}
+			for s := 0; s < 3; s++ {
+				stageSum[s] += d[i][s]
+				total += d[i][s]
+			}
+		}
+		m := Pipeline(rs, d)
+		maxStage := stageSum[0]
+		for _, s := range stageSum[1:] {
+			if s > maxStage {
+				maxStage = s
+			}
+		}
+		return m >= maxStage && m <= total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

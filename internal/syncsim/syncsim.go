@@ -1,0 +1,109 @@
+// Package syncsim models the synchronization steps that bracket
+// compiled communication (paper §2.1: "The compiler generates
+// synchronization (or control) instructions separately (e.g., before
+// and after a complete array redistribution)", citing the authors'
+// companion work on fast synchronization [16]). It provides barrier
+// cost estimates for the simulated machines: a hardware barrier tree
+// (the T3D had dedicated barrier wires) and a software dissemination
+// barrier built from point-to-point messages.
+package syncsim
+
+import (
+	"fmt"
+	"math"
+
+	"ctcomm/internal/machine"
+)
+
+// Kind selects the barrier implementation.
+type Kind int
+
+const (
+	// Hardware is a dedicated barrier network (the T3D's barrier wires):
+	// latency grows with the tree depth but each level costs only wire
+	// time.
+	Hardware Kind = iota
+	// Dissemination is the log2(P)-round software barrier built from
+	// point-to-point messages.
+	Dissemination
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Hardware:
+		return "hardware"
+	case Dissemination:
+		return "dissemination"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Cost estimates one barrier across nodes participants on machine m, in
+// nanoseconds.
+func Cost(m *machine.Machine, kind Kind, nodes int) (float64, error) {
+	if nodes < 1 {
+		return 0, fmt.Errorf("syncsim: invalid node count %d", nodes)
+	}
+	if nodes == 1 {
+		return 0, nil
+	}
+	rounds := math.Ceil(math.Log2(float64(nodes)))
+	switch kind {
+	case Hardware:
+		// Up and down a wired tree: two traversals of the tree depth at
+		// wire latency, plus a processor entry/exit cost per side.
+		wire := 2 * rounds * m.Net.HopLatencyNs
+		proc := 2 * (m.NI.PortStoreNs + m.NI.PortLoadNs)
+		return wire + proc, nil
+	case Dissemination:
+		// log2(P) rounds; each round sends one small message and waits
+		// for one: software send/receive cost plus the average route.
+		hops := avgHops(m)
+		perRound := m.NI.PortStoreNs + m.NI.PortLoadNs +
+			2*float64(hops)*m.Net.HopLatencyNs + m.LibOverheadNs
+		return rounds * perRound, nil
+	default:
+		return 0, fmt.Errorf("syncsim: unknown barrier kind %d", int(kind))
+	}
+}
+
+// Best returns the cheaper barrier available on the machine. Machines
+// with hardware barrier support (the T3D) use it; others fall back to
+// the software dissemination barrier.
+func Best(m *machine.Machine, nodes int) (float64, Kind, error) {
+	hw, err := Cost(m, Hardware, nodes)
+	if err != nil {
+		return 0, 0, err
+	}
+	sw, err := Cost(m, Dissemination, nodes)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Only the T3D-style torus machines are modeled with barrier wires;
+	// the mesh machines pay the software path.
+	if m.Net.NodesPerPort > 1 { // the T3D profile marker
+		return hw, Hardware, nil
+	}
+	if sw < hw {
+		return sw, Dissemination, nil
+	}
+	return sw, Dissemination, nil
+}
+
+func avgHops(m *machine.Machine) int {
+	n := m.Topo.Nodes()
+	if n <= 1 {
+		return 1
+	}
+	total := 0
+	for dst := 1; dst < n; dst++ {
+		total += len(m.Topo.Route(0, dst))
+	}
+	h := total / (n - 1)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}

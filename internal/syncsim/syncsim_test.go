@@ -1,0 +1,96 @@
+package syncsim
+
+import (
+	"testing"
+
+	"ctcomm/internal/machine"
+)
+
+func TestCostSingleNodeFree(t *testing.T) {
+	for _, kind := range []Kind{Hardware, Dissemination} {
+		c, err := Cost(machine.T3D(), kind, 1)
+		if err != nil || c != 0 {
+			t.Errorf("%v single-node barrier = %v, %v", kind, c, err)
+		}
+	}
+}
+
+func TestCostGrowsLogarithmically(t *testing.T) {
+	m := machine.T3D()
+	c2, _ := Cost(m, Dissemination, 2)
+	c64, _ := Cost(m, Dissemination, 64)
+	c1024, _ := Cost(m, Dissemination, 1024)
+	if !(c2 < c64 && c64 < c1024) {
+		t.Errorf("costs not increasing: %v %v %v", c2, c64, c1024)
+	}
+	// log2: 64 nodes = 6 rounds, 1024 = 10 rounds.
+	if ratio := c1024 / c64; ratio < 1.5 || ratio > 1.8 {
+		t.Errorf("1024/64 ratio = %v, want ~10/6", ratio)
+	}
+}
+
+func TestHardwareBeatsSoftware(t *testing.T) {
+	// Dedicated barrier wires beat log2(P) software messages by a wide
+	// margin — that is the point of the paper's fast-synchronization
+	// companion work.
+	m := machine.T3D()
+	hw, _ := Cost(m, Hardware, 64)
+	sw, _ := Cost(m, Dissemination, 64)
+	if hw*4 > sw {
+		t.Errorf("hardware barrier %v not far below software %v", hw, sw)
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	t3d := machine.T3D()
+	c, kind, err := Best(t3d, 64)
+	if err != nil || kind != Hardware || c <= 0 {
+		t.Errorf("T3D best = %v %v %v, want hardware", c, kind, err)
+	}
+	par := machine.Paragon()
+	c, kind, err = Best(par, 64)
+	if err != nil || kind != Dissemination || c <= 0 {
+		t.Errorf("Paragon best = %v %v %v, want dissemination", c, kind, err)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	if _, err := Cost(machine.T3D(), Hardware, 0); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := Cost(machine.T3D(), Kind(99), 4); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Hardware.String() != "hardware" || Dissemination.String() != "dissemination" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestBarrierNearDefaultScale(t *testing.T) {
+	// The apps' default per-step barrier allowance (30 us) should be in
+	// the ballpark of a software barrier on the 64-node machines.
+	sw, _ := Cost(machine.Paragon(), Dissemination, 64)
+	if sw < 5e3 || sw > 500e3 {
+		t.Errorf("software barrier %v ns implausible", sw)
+	}
+}
+
+func TestBestPropagatesErrors(t *testing.T) {
+	if _, _, err := Best(machine.T3D(), 0); err == nil {
+		t.Error("invalid node count should fail")
+	}
+}
+
+func TestSingleNodeMachineHops(t *testing.T) {
+	m, err := machine.T3DSized(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Cost(m, Dissemination, 2)
+	if err != nil || c <= 0 {
+		t.Errorf("dissemination on tiny machine: %v, %v", c, err)
+	}
+}

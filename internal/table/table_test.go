@@ -1,0 +1,124 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Header: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1.0")
+	t.AddRow("beta", "22.5")
+	t.AddNote("a note with %d parts", 2)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Sample", "name", "alpha", "22.5", "note: a note with 2 parts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and data lines align: same length prefix columns.
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow("x", "extra")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("x,y", "plain")
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",plain\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.25) != "1.2" && F(1.25) != "1.3" {
+		t.Errorf("F(1.25) = %q", F(1.25))
+	}
+	if F2(1.256) != "1.26" {
+		t.Errorf("F2 = %q", F2(1.256))
+	}
+	if Delta(110, 100) != "+10%" {
+		t.Errorf("Delta = %q", Delta(110, 100))
+	}
+	if Delta(90, 100) != "-10%" {
+		t.Errorf("Delta = %q", Delta(90, 100))
+	}
+	if Delta(1, 0) != "n/a" {
+		t.Errorf("Delta(1,0) = %q", Delta(1, 0))
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	err := Bars(&buf, "Rates", []string{"packed", "chained"}, []float64{20, 40}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Rates") || !strings.Contains(out, "chained") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	// The larger value gets the full width, the smaller roughly half.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	packedHashes := strings.Count(lines[1], "#")
+	chainedHashes := strings.Count(lines[2], "#")
+	if chainedHashes != 20 || packedHashes != 10 {
+		t.Errorf("bar widths = %d/%d, want 10/20", packedHashes, chainedHashes)
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	if err := Bars(&bytes.Buffer{}, "", []string{"a"}, nil, 10); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	// Zero values render empty bars without dividing by zero.
+	if err := Bars(&bytes.Buffer{}, "", []string{"a"}, []float64{0}, 10); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := sample()
+	tab.Figure = "bar\n"
+	var buf bytes.Buffer
+	if err := tab.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**Sample**", "| name | value |", "| --- | --- |",
+		"| alpha | 1.0 |", "```", "> a note with 2 parts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

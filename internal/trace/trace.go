@@ -1,0 +1,214 @@
+// Package trace records and analyzes memory access traces. The paper
+// (§3.1) contrasts its throughput-oriented model with "trace driven
+// investigations of the cached memory system", the traditional approach
+// to memory performance analysis; this package provides that
+// traditional view — access-stream statistics, stride detection, page
+// locality, working-set size — both as a baseline to validate the
+// throughput model's assumptions (communication accesses have little
+// temporal locality, §3.1) and as a diagnostic for the simulators.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"ctcomm/internal/pattern"
+)
+
+// Event is one recorded access.
+type Event struct {
+	Addr     int64
+	Write    bool
+	Overhead bool
+}
+
+// Trace is a recorded access stream.
+type Trace struct {
+	Events []Event
+}
+
+// Record captures the accesses of a pattern stream (the same expansion
+// the simulators execute).
+func Record(st *pattern.Stream, write bool) *Trace {
+	acc := st.Accesses(write)
+	t := &Trace{Events: make([]Event, len(acc))}
+	for i, a := range acc {
+		t.Events[i] = Event{Addr: a.Addr, Write: a.Write, Overhead: a.Overhead}
+	}
+	return t
+}
+
+// Append adds events from another trace (e.g. the write side of a copy).
+func (t *Trace) Append(o *Trace) {
+	t.Events = append(t.Events, o.Events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses  int
+	Reads     int
+	Writes    int
+	Overheads int
+
+	// UniqueWords is the working-set size in distinct 8-byte words.
+	UniqueWords int
+	// UniqueLines/UniquePages for the given line and page sizes.
+	UniqueLines int
+	UniquePages int
+
+	// TemporalReuse is the fraction of accesses that touch a word seen
+	// earlier in the trace — the paper's claim is that this is near
+	// zero for communication access streams.
+	TemporalReuse float64
+	// SpatialLineReuse is the fraction of accesses whose line (but not
+	// necessarily word) was touched before.
+	SpatialLineReuse float64
+	// PageLocality is the fraction of successive accesses that stay on
+	// the same memory page (open-page hits under an ideal policy).
+	PageLocality float64
+
+	// DominantStride is the most common inter-access word distance and
+	// its share of all transitions.
+	DominantStride      int64
+	DominantStrideShare float64
+}
+
+// Analyze computes trace statistics for the given cache-line and DRAM
+// page sizes (bytes, powers of two).
+func Analyze(t *Trace, lineBytes, pageBytes int) (Stats, error) {
+	if lineBytes < 8 || lineBytes&(lineBytes-1) != 0 {
+		return Stats{}, fmt.Errorf("trace: invalid line size %d", lineBytes)
+	}
+	if pageBytes < lineBytes || pageBytes&(pageBytes-1) != 0 {
+		return Stats{}, fmt.Errorf("trace: invalid page size %d", pageBytes)
+	}
+	var s Stats
+	words := make(map[int64]bool)
+	lines := make(map[int64]bool)
+	pages := make(map[int64]bool)
+	strides := make(map[int64]int)
+	var prevAddr int64
+	var wordReuse, lineReuse, pageStay int
+	for i, e := range t.Events {
+		s.Accesses++
+		if e.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		if e.Overhead {
+			s.Overheads++
+		}
+		w := e.Addr / 8
+		l := e.Addr / int64(lineBytes)
+		p := e.Addr / int64(pageBytes)
+		if words[w] {
+			wordReuse++
+		}
+		if lines[l] {
+			lineReuse++
+		}
+		words[w] = true
+		lines[l] = true
+		pages[p] = true
+		if i > 0 {
+			if prevAddr/int64(pageBytes) == p {
+				pageStay++
+			}
+			strides[w-prevAddr/8]++
+		}
+		prevAddr = e.Addr
+	}
+	s.UniqueWords = len(words)
+	s.UniqueLines = len(lines)
+	s.UniquePages = len(pages)
+	if s.Accesses > 0 {
+		s.TemporalReuse = float64(wordReuse) / float64(s.Accesses)
+		s.SpatialLineReuse = float64(lineReuse) / float64(s.Accesses)
+	}
+	if s.Accesses > 1 {
+		s.PageLocality = float64(pageStay) / float64(s.Accesses-1)
+		best, bestN := int64(0), 0
+		for st, n := range strides {
+			if n > bestN || (n == bestN && st < best) {
+				best, bestN = st, n
+			}
+		}
+		s.DominantStride = best
+		s.DominantStrideShare = float64(bestN) / float64(s.Accesses-1)
+	}
+	return s, nil
+}
+
+// ClassifyTrace infers the symbolic access pattern of a trace from its
+// payload addresses — the inverse of pattern.Stream. It reports
+// contiguous, strided (with the detected stride), block-strided, or
+// indexed.
+func ClassifyTrace(t *Trace) (pattern.Spec, error) {
+	offsets := make([]int64, 0, len(t.Events))
+	var base int64
+	first := true
+	for _, e := range t.Events {
+		if e.Overhead {
+			continue
+		}
+		if first {
+			base = e.Addr
+			first = false
+		}
+		offsets = append(offsets, (e.Addr-base)/8)
+	}
+	switch len(offsets) {
+	case 0:
+		return pattern.Spec{}, fmt.Errorf("trace: no payload accesses")
+	case 1:
+		return pattern.Contig(), nil
+	}
+	// Reuse the same classification logic as the distribution planner:
+	// detect the dense run length, then verify the block-strided law.
+	if offsets[1]-offsets[0] < 1 {
+		return pattern.Indexed(), nil
+	}
+	block := 1
+	for block < len(offsets) && offsets[block]-offsets[block-1] == 1 {
+		block++
+	}
+	if block == len(offsets) {
+		return pattern.Contig(), nil
+	}
+	stride := offsets[block] - offsets[0]
+	if stride <= int64(block) || stride > 1<<30 {
+		return pattern.Indexed(), nil
+	}
+	for i := range offsets {
+		want := offsets[0] + int64(i/block)*stride + int64(i%block)
+		if offsets[i] != want {
+			return pattern.Indexed(), nil
+		}
+	}
+	return pattern.StridedBlock(int(stride), block), nil
+}
+
+// Histogram returns the access-count-per-page distribution, sorted by
+// page number — a compact picture of the footprint's shape.
+type PageBin struct {
+	Page  int64
+	Count int
+}
+
+// PageHistogram bins accesses by memory page.
+func PageHistogram(t *Trace, pageBytes int) []PageBin {
+	counts := make(map[int64]int)
+	for _, e := range t.Events {
+		counts[e.Addr/int64(pageBytes)]++
+	}
+	out := make([]PageBin, 0, len(counts))
+	for p, n := range counts {
+		out = append(out, PageBin{Page: p, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}

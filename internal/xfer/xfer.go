@@ -1,0 +1,215 @@
+// Package xfer executes the basic transfers of the copy-transfer model
+// on a simulated node (Stricker/Gross, ISCA 1995, §3.2):
+//
+//	xCy  local memory-to-memory copy (processor load/store loop)
+//	xS0  load-send: memory -> network port, by the processor
+//	xF0  fetch-send: memory -> network, by a DMA/fetch engine
+//	0Ry  receive-store: network port -> memory, by the processor
+//	0Dy  receive-deposit: network -> memory, by the deposit engine
+//
+// Each call simulates the transfer at word granularity against the
+// node's memory system and returns elapsed simulated time plus how long
+// each node resource (processor, DRAM, engine) was held, which is what
+// the composition rules of the model need.
+package xfer
+
+import (
+	"fmt"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/memsim"
+	"ctcomm/internal/pattern"
+)
+
+// Result reports one simulated basic transfer.
+type Result struct {
+	PayloadBytes int64
+	ElapsedNs    float64
+	CPUNs        float64 // time the (main) processor was held
+	DRAMNs       float64 // DRAM bank occupancy
+	EngineNs     float64 // DMA/deposit engine occupancy
+}
+
+// MBps returns payload throughput in MB/s.
+func (r Result) MBps() float64 { return memsim.MBps(r.PayloadBytes, r.ElapsedNs) }
+
+// Default buffer placement: source, destination and index regions live
+// in distinct memory areas so streams do not alias.
+const (
+	srcBase = 0
+	dstBase = 1 << 30
+)
+
+// streams builds the read- and write-side streams for a transfer of
+// words payload words, generating deterministic permutations for indexed
+// sides.
+func streams(read, write pattern.Spec, words int) (r, w *pattern.Stream) {
+	r = pattern.NewStream(read, srcBase, words)
+	if read.Kind() == pattern.KindIndexed {
+		r.WithIndex(pattern.Permutation(words, 0x5EED0001))
+	}
+	w = pattern.NewStream(write, dstBase, words)
+	if write.Kind() == pattern.KindIndexed {
+		w.WithIndex(pattern.Permutation(words, 0x5EED0002))
+	}
+	return r, w
+}
+
+// interleave zips the read and write access lists payload-word by
+// payload-word, keeping each side's overhead (index) loads immediately
+// before the payload access they serve. This is the unrolled, optimally
+// scheduled load/store loop of the xCy copy.
+func interleave(reads, writes []pattern.Access) []pattern.Access {
+	out := make([]pattern.Access, 0, len(reads)+len(writes))
+	i, j := 0, 0
+	for i < len(reads) || j < len(writes) {
+		for i < len(reads) && reads[i].Overhead {
+			out = append(out, reads[i])
+			i++
+		}
+		if i < len(reads) {
+			out = append(out, reads[i])
+			i++
+		}
+		for j < len(writes) && writes[j].Overhead {
+			out = append(out, writes[j])
+			j++
+		}
+		if j < len(writes) {
+			out = append(out, writes[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Copy simulates the local memory-to-memory copy xCy of words payload
+// words on the node. Both patterns must reference memory (not a port).
+func Copy(n *machine.Node, read, write pattern.Spec, words int) (Result, error) {
+	if !read.IsMemory() || !write.IsMemory() {
+		return Result{}, fmt.Errorf("xfer: Copy requires memory patterns, got %v -> %v", read, write)
+	}
+	rs, ws := streams(read, write, words)
+	acc := interleave(rs.Accesses(false), ws.Accesses(true))
+	res := n.Mem.Run(acc)
+	return Result{
+		PayloadBytes: int64(words) * pattern.WordBytes,
+		ElapsedNs:    res.ElapsedNs,
+		CPUNs:        res.ElapsedNs, // the processor drives the whole copy
+		DRAMNs:       res.DRAMBusyNs,
+	}, nil
+}
+
+// LoadSend simulates xS0: the processor loads words with pattern read
+// and stores each to the memory-mapped network port. The port store is
+// processor time; the overall rate is additionally capped by the NI
+// injection bandwidth.
+func LoadSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
+	if !read.IsMemory() {
+		return Result{}, fmt.Errorf("xfer: LoadSend requires a memory read pattern, got %v", read)
+	}
+	rs, _ := streams(read, pattern.Contig(), words)
+	res := n.Mem.Run(rs.Accesses(false))
+	elapsed := res.ElapsedNs + float64(words)*n.M.NI.PortStoreNs
+	payload := int64(words) * pattern.WordBytes
+	if lim := float64(payload) * 1e3 / n.M.NI.InjectMBps; elapsed < lim {
+		elapsed = lim
+	}
+	return Result{
+		PayloadBytes: payload,
+		ElapsedNs:    elapsed,
+		CPUNs:        elapsed,
+		DRAMNs:       res.DRAMBusyNs,
+	}, nil
+}
+
+// FetchSend simulates xF0: a fetch engine (DMA) reads memory in the
+// background and feeds the network. It fails if the node has no engine
+// or the engine cannot handle the pattern.
+func FetchSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
+	if !n.M.Fetch.Supports(read) {
+		return Result{}, fmt.Errorf("xfer: %s fetch engine cannot read pattern %v", n.M.Name, read)
+	}
+	rs, _ := streams(read, pattern.Contig(), words)
+	res := n.Mem.EngineRead(rs)
+	payload := int64(words) * pattern.WordBytes
+	elapsed := res.ElapsedNs
+	if lim := float64(payload) * 1e3 / n.M.Fetch.RateMBps; elapsed < lim {
+		elapsed = lim
+	}
+	if lim := float64(payload) * 1e3 / n.M.NI.InjectMBps; elapsed < lim {
+		elapsed = lim
+	}
+	cpu := n.M.Fetch.SetupNs + float64(pages(rs, n.M.Mem.PageBytes))*n.M.Fetch.KickNs
+	return Result{
+		PayloadBytes: payload,
+		ElapsedNs:    elapsed + cpu, // setup/kicks serialize with the stream
+		CPUNs:        cpu,
+		DRAMNs:       res.DRAMBusyNs,
+		EngineNs:     elapsed,
+	}, nil
+}
+
+// RecvStore simulates 0Ry: the processor reads incoming words from the
+// network port and stores them with pattern write. Addresses arrive with
+// the data (or are generated locally), so no index overhead loads occur.
+func RecvStore(n *machine.Node, write pattern.Spec, words int) (Result, error) {
+	if !write.IsMemory() {
+		return Result{}, fmt.Errorf("xfer: RecvStore requires a memory write pattern, got %v", write)
+	}
+	_, ws := streams(pattern.Contig(), write, words)
+	acc := ws.Accesses(true)
+	// Strip overhead entries: the scatter addresses come off the wire.
+	kept := acc[:0]
+	for _, a := range acc {
+		if !a.Overhead {
+			kept = append(kept, a)
+		}
+	}
+	res := n.Mem.Run(kept)
+	elapsed := res.ElapsedNs + float64(words)*n.M.NI.PortLoadNs
+	payload := int64(words) * pattern.WordBytes
+	if lim := float64(payload) * 1e3 / n.M.NI.EjectMBps; elapsed < lim {
+		elapsed = lim
+	}
+	return Result{
+		PayloadBytes: payload,
+		ElapsedNs:    elapsed,
+		CPUNs:        elapsed,
+		DRAMNs:       res.DRAMBusyNs,
+	}, nil
+}
+
+// RecvDeposit simulates 0Dy: the deposit engine takes address-data pairs
+// (or a contiguous block) off the network and stores them in the
+// background. It fails if the engine cannot handle the pattern.
+func RecvDeposit(n *machine.Node, write pattern.Spec, words int) (Result, error) {
+	if !n.M.Deposit.Supports(write) {
+		return Result{}, fmt.Errorf("xfer: %s deposit engine cannot write pattern %v", n.M.Name, write)
+	}
+	_, ws := streams(pattern.Contig(), write, words)
+	res := n.Mem.EngineWrite(ws)
+	payload := int64(words) * pattern.WordBytes
+	elapsed := res.ElapsedNs
+	if lim := float64(payload) * 1e3 / n.M.NI.EjectMBps; elapsed < lim {
+		elapsed = lim
+	}
+	cpu := n.M.Deposit.SetupNs + float64(pages(ws, n.M.Mem.PageBytes))*n.M.Deposit.KickNs
+	return Result{
+		PayloadBytes: payload,
+		ElapsedNs:    elapsed + cpu,
+		CPUNs:        cpu,
+		DRAMNs:       res.DRAMBusyNs,
+		EngineNs:     elapsed,
+	}, nil
+}
+
+// pages returns how many DRAM pages the stream touches (the unit of
+// "kick" attention restricted Paragon engines need).
+func pages(st *pattern.Stream, pageBytes int) int64 {
+	fp := st.Footprint()
+	if fp == 0 {
+		return 0
+	}
+	return (fp + int64(pageBytes) - 1) / int64(pageBytes)
+}
