@@ -1,8 +1,10 @@
 # Convenience targets for the ctcomm reproduction.
 
 GO ?= go
+J ?= 4
+CIOUT ?= ci-out
 
-.PHONY: all build test test-short bench experiments fuzz clean
+.PHONY: all build test test-short bench experiments fuzz fuzz-smoke gofmt-check race ci clean
 
 all: build test
 
@@ -20,12 +22,34 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 experiments:
-	$(GO) run ./cmd/experiments -check
+	$(GO) run ./cmd/experiments -check -j $(J)
 
 fuzz:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 15s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 15s ./internal/pattern/
 
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/model/
+	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 10s ./internal/model/
+	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 10s ./internal/pattern/
+
+gofmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+# ci mirrors .github/workflows/ci.yml locally: build/vet/test, gofmt,
+# race, the parallel experiment shape gate (metrics archived under
+# $(CIOUT)/), the fuzz smoke pass, and the one-iteration bench sweep.
+ci: build gofmt-check test race
+	mkdir -p $(CIOUT)
+	$(GO) run ./cmd/experiments -quick -check -j $(J) -stats $(CIOUT)/experiments-stats.json
+	$(MAKE) fuzz-smoke
+	$(GO) test -bench . -benchtime 1x -benchmem ./... | tee $(CIOUT)/bench.txt
+
 clean:
 	$(GO) clean -testcache
+	rm -rf $(CIOUT)

@@ -8,8 +8,16 @@
 //	experiments -quick          # small workloads, same shapes
 //	experiments -only tab6      # a single experiment
 //	experiments -check          # exit non-zero if any shape check fails
+//	experiments -j 8            # run experiments on 8 worker goroutines
+//	experiments -stats s.json   # write per-experiment run metrics as JSON
 //	experiments -csv out/       # additionally write each table as CSV
 //	experiments -list           # list experiment ids
+//
+// Experiments run concurrently (-j defaults to GOMAXPROCS); each owns
+// its simulator instances and output buffer, so the tables written to
+// stdout are byte-identical to the serial -j 1 path and appear in paper
+// order. The run-metrics summary goes to stderr so stdout stays stable
+// across -j levels and machines.
 package main
 
 import (
@@ -18,13 +26,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"ctcomm/internal/exp"
+	"ctcomm/internal/runstats"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
@@ -32,8 +43,9 @@ func main() {
 	os.Exit(code)
 }
 
-// run executes the CLI and returns the process exit code.
-func run(args []string, out io.Writer) (int, error) {
+// run executes the CLI and returns the process exit code. Experiment
+// tables go to out; the run-metrics summary goes to errOut.
+func run(args []string, out, errOut io.Writer) (int, error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -43,6 +55,8 @@ func run(args []string, out io.Writer) (int, error) {
 		listFlag  = fs.Bool("list", false, "list experiment ids and exit")
 		csvFlag   = fs.String("csv", "", "directory to write each table as CSV")
 		mdFlag    = fs.String("md", "", "file to write a markdown report to")
+		jFlag     = fs.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
+		statsFlag = fs.String("stats", "", "file to write per-experiment run metrics as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -55,16 +69,10 @@ func run(args []string, out io.Writer) (int, error) {
 		return 0, nil
 	}
 
-	var selected []exp.Experiment
-	if *onlyFlag == "" {
-		selected = exp.All()
-	} else {
+	var ids []string
+	if *onlyFlag != "" {
 		for _, id := range strings.Split(*onlyFlag, ",") {
-			e, err := exp.ByID(strings.TrimSpace(id))
-			if err != nil {
-				return 2, err
-			}
-			selected = append(selected, e)
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 
@@ -74,6 +82,15 @@ func run(args []string, out io.Writer) (int, error) {
 			return 1, err
 		}
 	}
+
+	summary := runstats.NewSummary(*quickFlag, *jFlag)
+	start := time.Now()
+	results, err := exp.RunParallel(cfg, ids, *jFlag)
+	if err != nil {
+		return 2, err
+	}
+	summary.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+
 	var md *os.File
 	if *mdFlag != "" {
 		f, err := os.Create(*mdFlag)
@@ -84,24 +101,46 @@ func run(args []string, out io.Writer) (int, error) {
 		md = f
 		fmt.Fprintf(md, "# Reproduction report\n\n")
 	}
+
 	totalFailures := 0
-	for _, e := range selected {
-		failures, err := e.RunAndRender(out, cfg)
-		if err != nil {
+	for _, r := range results {
+		if r.Err != nil {
+			return 1, r.Err
+		}
+		if _, err := io.WriteString(out, r.Output); err != nil {
 			return 1, err
 		}
-		totalFailures += len(failures)
+		totalFailures += len(r.Failures)
+		summary.Add(r.Metrics)
 		if *csvFlag != "" {
-			if err := writeCSVs(*csvFlag, e, cfg); err != nil {
+			if err := writeCSVs(*csvFlag, r); err != nil {
 				return 1, err
 			}
 		}
 		if md != nil {
-			if err := writeMarkdown(md, e, cfg, failures); err != nil {
+			if err := writeMarkdown(md, r); err != nil {
 				return 1, err
 			}
 		}
 	}
+
+	if err := summary.Render(errOut); err != nil {
+		return 1, err
+	}
+	if *statsFlag != "" {
+		f, err := os.Create(*statsFlag)
+		if err != nil {
+			return 1, err
+		}
+		if err := summary.WriteJSON(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		if err := f.Close(); err != nil {
+			return 1, err
+		}
+	}
+
 	if totalFailures > 0 {
 		fmt.Fprintf(out, "TOTAL: %d shape-check failure(s)\n", totalFailures)
 		if *checkFlag {
@@ -109,19 +148,17 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		return 0, nil
 	}
-	fmt.Fprintf(out, "TOTAL: all %d experiment(s) passed their shape checks\n", len(selected))
+	fmt.Fprintf(out, "TOTAL: all %d experiment(s) passed their shape checks\n", len(results))
 	return 0, nil
 }
 
-// writeCSVs re-runs the experiment and writes each of its tables as
-// <dir>/<id>-<n>.csv.
-func writeCSVs(dir string, e exp.Experiment, cfg exp.Config) error {
-	tables, _, err := e.Run(cfg)
-	if err != nil {
-		return err
-	}
-	for i, t := range tables {
-		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", e.ID, i))
+// writeCSVs writes each captured table of one experiment result as
+// <dir>/<id>-<n>.csv. It consumes the tables captured by the runner
+// rather than re-running the experiment, so it is safe (and free) under
+// the parallel runner.
+func writeCSVs(dir string, r exp.Result) error {
+	for i, t := range r.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", r.Experiment.ID, i))
 		f, err := os.Create(path)
 		if err != nil {
 			return err
@@ -137,23 +174,21 @@ func writeCSVs(dir string, e exp.Experiment, cfg exp.Config) error {
 	return nil
 }
 
-// writeMarkdown appends one experiment's section to the report.
-func writeMarkdown(w *os.File, e exp.Experiment, cfg exp.Config, failures []string) error {
-	tables, _, err := e.Run(cfg)
-	if err != nil {
-		return err
-	}
+// writeMarkdown appends one experiment's section to the report from the
+// captured result.
+func writeMarkdown(w io.Writer, r exp.Result) error {
+	e := r.Experiment
 	fmt.Fprintf(w, "## %s — %s (%s)\n\n", e.ID, e.Title, e.PaperRef)
-	for _, t := range tables {
+	for _, t := range r.Tables {
 		if err := t.Markdown(w); err != nil {
 			return err
 		}
 	}
-	if len(failures) == 0 {
+	if len(r.Failures) == 0 {
 		fmt.Fprintf(w, "shape check: **PASS**\n\n")
 	} else {
 		fmt.Fprintf(w, "shape check: **FAIL**\n\n")
-		for _, f := range failures {
+		for _, f := range r.Failures {
 			fmt.Fprintf(w, "- %s\n", f)
 		}
 		fmt.Fprintln(w)

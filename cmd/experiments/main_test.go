@@ -1,15 +1,19 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ctcomm/internal/runstats"
 )
 
 func TestRunList(t *testing.T) {
 	var out strings.Builder
-	code, err := run([]string{"-list"}, &out)
+	code, err := run([]string{"-list"}, &out, io.Discard)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -22,7 +26,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunOneQuick(t *testing.T) {
 	var out strings.Builder
-	code, err := run([]string{"-quick", "-only", "tab4", "-check"}, &out)
+	code, err := run([]string{"-quick", "-only", "tab4", "-check"}, &out, io.Discard)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
 	}
@@ -33,16 +37,90 @@ func TestRunOneQuick(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	var out strings.Builder
-	code, err := run([]string{"-only", "tab99"}, &out)
+	code, err := run([]string{"-only", "tab99"}, &out, io.Discard)
 	if err == nil || code != 2 {
 		t.Fatalf("unknown id: code=%d err=%v", code, err)
+	}
+	// The error must name the bad id and list the valid ones so the
+	// caller can fix the invocation without a second round trip.
+	for _, want := range []string{"tab99", "tab1", "ext-aapc"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// The parallel runner must produce byte-identical stdout to the serial
+// path, in the same order.
+func TestRunParallelOutputMatchesSerial(t *testing.T) {
+	args := []string{"-quick", "-only", "tab4,tab1,fig4", "-check"}
+	var serial, parallel strings.Builder
+	code, err := run(append(args, "-j", "1"), &serial, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("serial: code=%d err=%v", code, err)
+	}
+	code, err = run(append(args, "-j", "4"), &parallel, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("parallel: code=%d err=%v", code, err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel output differs from serial:\n--- j=1\n%s\n--- j=4\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunStatsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	var out, errOut strings.Builder
+	code, err := run([]string{"-quick", "-only", "tab4,tab1", "-j", "2", "-stats", path}, &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s runstats.Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("stats not valid JSON: %v\n%s", err, data)
+	}
+	if s.Workers != 2 || !s.Quick || len(s.Runs) != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Runs[0].ID != "tab4" || s.Runs[1].ID != "tab1" {
+		t.Errorf("runs out of order: %+v", s.Runs)
+	}
+	for _, r := range s.Runs {
+		if r.WallMs <= 0 || !r.Pass || r.ChecksTotal == 0 {
+			t.Errorf("run %s metrics incomplete: %+v", r.ID, r)
+		}
+	}
+	// tab4 exercises the event-level network; its event count and
+	// simulated time must be attributed.
+	if s.Runs[0].Events == 0 || s.Runs[0].SimMs == 0 {
+		t.Errorf("tab4 missing sim attribution: %+v", s.Runs[0])
+	}
+	// tab1 is a pure memory-system experiment.
+	if s.Runs[1].MemAccesses == 0 {
+		t.Errorf("tab1 missing memory accesses: %+v", s.Runs[1])
+	}
+	if s.Totals.Events != s.Runs[0].Events+s.Runs[1].Events {
+		t.Errorf("totals do not add up: %+v", s.Totals)
+	}
+	// The human summary table goes to errOut, never stdout, so stdout
+	// stays byte-stable across -j levels.
+	if !strings.Contains(errOut.String(), "Run metrics") {
+		t.Errorf("summary table missing from errOut:\n%s", errOut.String())
+	}
+	if strings.Contains(out.String(), "Run metrics") {
+		t.Errorf("summary table leaked to stdout")
 	}
 }
 
 func TestRunCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	code, err := run([]string{"-quick", "-only", "tab4", "-csv", dir}, &out)
+	code, err := run([]string{"-quick", "-only", "tab4", "-csv", dir}, &out, io.Discard)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -59,11 +137,47 @@ func TestRunCSV(t *testing.T) {
 	}
 }
 
+// CSV output must be identical whether written from the serial or the
+// parallel runner (the writers consume captured tables, never re-run).
+func TestRunCSVParallelSafe(t *testing.T) {
+	read := func(dir string) map[string]string {
+		files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string]string, len(files))
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[filepath.Base(f)] = string(data)
+		}
+		return m
+	}
+	dir1, dir4 := t.TempDir(), t.TempDir()
+	if code, err := run([]string{"-quick", "-only", "tab4,tab5", "-j", "1", "-csv", dir1}, io.Discard, io.Discard); err != nil || code != 0 {
+		t.Fatalf("j=1: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"-quick", "-only", "tab4,tab5", "-j", "4", "-csv", dir4}, io.Discard, io.Discard); err != nil || code != 0 {
+		t.Fatalf("j=4: code=%d err=%v", code, err)
+	}
+	got1, got4 := read(dir1), read(dir4)
+	if len(got1) == 0 || len(got1) != len(got4) {
+		t.Fatalf("csv sets differ: %d vs %d files", len(got1), len(got4))
+	}
+	for name, data := range got1 {
+		if got4[name] != data {
+			t.Errorf("%s differs between -j 1 and -j 4", name)
+		}
+	}
+}
+
 func TestRunMarkdown(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "report.md")
 	var out strings.Builder
-	code, err := run([]string{"-quick", "-only", "tab4", "-md", path}, &out)
+	code, err := run([]string{"-quick", "-only", "tab4", "-md", path, "-j", "2"}, &out, io.Discard)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}

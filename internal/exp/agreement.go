@@ -11,7 +11,6 @@ import (
 
 	"ctcomm/internal/calibrate"
 	"ctcomm/internal/comm"
-	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
 	"ctcomm/internal/pattern"
 	"ctcomm/internal/table"
@@ -24,7 +23,7 @@ func ExtAgreement() Experiment {
 		Title:    "Model vs. simulation agreement across the operation space",
 		PaperRef: "Conclusions (§7): 'the model is highly accurate'",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			specs := []pattern.Spec{
 				pattern.Contig(),
 				pattern.Strided(4),
@@ -40,7 +39,7 @@ func ExtAgreement() Experiment {
 				Title:  "Relative deviation |sim - model| / model",
 				Header: []string{"machine", "style", "ops", "mean dev", "max dev", "worst op"},
 			}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				rt := calibrate.Measure(m, cfg.words()).ToRateTable(m)
 				caps := model.CapsOf(m)
 				for _, chained := range []bool{false, true} {
@@ -108,7 +107,7 @@ func ExtAgreement() Experiment {
 				Title:  "Small-message regime: the throughput model overestimates",
 				Header: []string{"machine", "message", "model MB/s", "simulated MB/s", "sim/model"},
 			}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				rt := calibrate.Measure(m, cfg.words()).ToRateTable(m)
 				caps := model.CapsOf(m)
 				expr, err := model.Chained(caps, pattern.Contig(), pattern.Strided(64))

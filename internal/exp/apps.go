@@ -7,7 +7,6 @@ import (
 	"ctcomm/internal/apps/sor"
 	"ctcomm/internal/calibrate"
 	"ctcomm/internal/comm"
-	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
 	"ctcomm/internal/pattern"
 	"ctcomm/internal/table"
@@ -27,7 +26,7 @@ var paperPVM3 = map[string]float64{"FEM": 2, "Transpose": 6, "SOR": 25}
 // kernelRates runs one application kernel with the given style and
 // returns its per-node communication report.
 func kernelRates(cfg Config, style comm.Style, kernel string) (apps.CommReport, error) {
-	m := machine.T3D()
+	m := cfg.t3d()
 	switch kernel {
 	case "Transpose":
 		n := cfg.fftN()
@@ -66,7 +65,7 @@ func kernelRates(cfg Config, style comm.Style, kernel string) (apps.CommReport, 
 // chainedModelRate evaluates the chained model estimate for a kernel's
 // communication pattern with the calibrated rate table.
 func chainedModelRate(cfg Config, kernel string) (float64, error) {
-	m := machine.T3D()
+	m := cfg.t3d()
 	caps := model.CapsOf(m)
 	rt := calibrate.Measure(m, cfg.words()).ToRateTable(m)
 	var x, y pattern.Spec
@@ -93,7 +92,7 @@ func Tab6() Experiment {
 		Title:    "Application-kernel communication rates (T3D, 64 nodes)",
 		PaperRef: "Table 6, Section 6",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			out := &table.Table{
 				Title: "Per-node communication throughput (MB/s)",
 				Header: []string{"kernel", "packed sim", "chained sim", "chained model",
@@ -156,7 +155,7 @@ func PVM3() Experiment {
 		Title:    "Application kernels over stock PVM3",
 		PaperRef: "Section 6.2",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			out := &table.Table{
 				Title:  "Per-node PVM3 communication throughput (MB/s)",
 				Header: []string{"kernel", "pvm sim", "packed sim", "paper pvm"},

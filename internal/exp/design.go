@@ -48,14 +48,14 @@ func ExtDesign() Experiment {
 		Title:    "Deposit-engine design space",
 		PaperRef: "Conclusions (§7)",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			out := &table.Table{
 				Title:  "Best achievable xQy on T3D variants (MB/s; * = forced buffer packing)",
 				Header: append([]string{"engine design"}, workloadLabels()...),
 			}
 			rates := map[string]map[string]float64{}
 			for _, v := range designVariants {
-				m := machine.T3D()
+				m := cfg.t3d()
 				v.mutate(m)
 				if err := m.Validate(); err != nil {
 					return nil, nil, err

@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
+	"ctcomm/internal/machine"
+	"ctcomm/internal/sim"
 	"ctcomm/internal/table"
 )
 
@@ -21,6 +24,52 @@ type Config struct {
 	Quick bool
 	// Verbose adds diagnostic notes to the tables.
 	Verbose bool
+	// Stats, when non-nil, receives simulator counters (events, memory
+	// accesses, simulated time) from every machine created through the
+	// Config's construction helpers. Execute installs a fresh Stats per
+	// run so concurrent experiments never share one.
+	Stats *sim.Stats
+
+	// tally counts the shape checks made through checks(); installed by
+	// Execute, nil otherwise (counting is then disabled).
+	tally *tally
+}
+
+// tally accumulates shape-check pass/fail counts for one run.
+type tally struct{ total, failed int }
+
+// checks returns a shape-check collector wired to the run's tally.
+func (c Config) checks() check { return check{tally: c.tally} }
+
+// machines returns the paper's machine profiles instrumented with the
+// run's stats collector.
+func (c Config) machines() []*machine.Machine {
+	ms := machine.Profiles()
+	for _, m := range ms {
+		m.Observe(c.Stats)
+	}
+	return ms
+}
+
+// t3d returns the instrumented Cray T3D profile.
+func (c Config) t3d() *machine.Machine { return machine.T3D().Observe(c.Stats) }
+
+// t3dSized returns an instrumented T3D profile on an x*y*z torus.
+func (c Config) t3dSized(x, y, z int) (*machine.Machine, error) {
+	m, err := machine.T3DSized(x, y, z)
+	if err != nil {
+		return nil, err
+	}
+	return m.Observe(c.Stats), nil
+}
+
+// paragonSized returns an instrumented Paragon profile on an x*y mesh.
+func (c Config) paragonSized(x, y int) (*machine.Machine, error) {
+	m, err := machine.ParagonSized(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return m.Observe(c.Stats), nil
 }
 
 // words returns the microbenchmark block size.
@@ -76,38 +125,37 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q; valid ids: %s", id, strings.Join(IDs(), ", "))
 }
 
 // RunAndRender executes the experiment and writes its tables and check
 // results to w. It returns the shape-check failures.
 func (e Experiment) RunAndRender(w io.Writer, cfg Config) ([]string, error) {
-	fmt.Fprintf(w, "== %s: %s (%s) ==\n\n", e.ID, e.Title, e.PaperRef)
-	tables, failures, err := e.Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	r := e.Execute(cfg)
+	if r.Err != nil {
+		return nil, r.Err
 	}
-	for _, t := range tables {
-		if err := t.Render(w); err != nil {
-			return nil, err
-		}
+	if _, err := io.WriteString(w, r.Output); err != nil {
+		return nil, err
 	}
-	if len(failures) == 0 {
-		fmt.Fprintf(w, "shape check: PASS\n\n")
-	} else {
-		fmt.Fprintf(w, "shape check: FAIL\n")
-		for _, f := range failures {
-			fmt.Fprintf(w, "  - %s\n", f)
-		}
-		fmt.Fprintln(w)
-	}
-	return failures, nil
+	return r.Failures, nil
 }
 
-// check collects shape assertions.
-type check struct{ failures []string }
+// check collects shape assertions. The zero value works (failures only);
+// collectors obtained through Config.checks additionally count every
+// assertion into the run's tally.
+type check struct {
+	tally    *tally
+	failures []string
+}
 
 func (c *check) expect(ok bool, format string, args ...interface{}) {
+	if c.tally != nil {
+		c.tally.total++
+		if !ok {
+			c.tally.failed++
+		}
+	}
 	if !ok {
 		c.failures = append(c.failures, fmt.Sprintf(format, args...))
 	}

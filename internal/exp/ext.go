@@ -8,7 +8,6 @@ import (
 	"ctcomm/internal/aapc"
 	"ctcomm/internal/comm"
 	"ctcomm/internal/distrib"
-	"ctcomm/internal/machine"
 	"ctcomm/internal/netsim"
 	"ctcomm/internal/pattern"
 	"ctcomm/internal/table"
@@ -23,14 +22,14 @@ func ExtPutGet() Experiment {
 		Title:    "Remote store (put) vs. remote load (get)",
 		PaperRef: "Section 3.5, footnote 2",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			var tables []*table.Table
 			cases := []qCase{
 				{"1Q1", pattern.Contig(), pattern.Contig()},
 				{"64Q1", pattern.Strided(64), pattern.Contig()},
 				{"wQw", pattern.Indexed(), pattern.Indexed()},
 			}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out := &table.Table{
 					Title:  "Put vs. get throughput (MB/s, chained) — " + m.Name,
 					Header: []string{"op", "put", "get", "get/put"},
@@ -73,9 +72,9 @@ func ExtAAPC() Experiment {
 		Title:    "Scheduled all-to-all personalized communication",
 		PaperRef: "Section 4.3 (citing Hinrichs et al.)",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			var tables []*table.Table
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out := &table.Table{
 					Title:  "AAPC congestion — " + m.Name,
 					Header: []string{"schedule", "max phase congestion", "naive all-at-once"},
@@ -132,8 +131,8 @@ func ExtRedistrib() Experiment {
 		Title:    "HPF array redistributions, packed vs. chained",
 		PaperRef: "Sections 2.1-2.2",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
-			m := machine.T3D()
+			c := cfg.checks()
+			m := cfg.t3d()
 			n := cfg.words()
 			p := 16
 			out := &table.Table{

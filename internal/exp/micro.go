@@ -67,9 +67,9 @@ func Tab1() Experiment {
 		PaperRef: "Table 1",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			keys := []string{"1C1", "1C64", "64C1", "1Cw", "wC1"}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out, tab := measuredTable(m, cfg.words(), "Local copies", keys, paperTab1[m.Name])
 				tables = append(tables, out)
 				g := func(k string) float64 { v, _ := tab.Get(k); return v }
@@ -95,9 +95,9 @@ func Tab2() Experiment {
 		PaperRef: "Table 2",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			keys := []string{"1S0", "1F0", "64S0", "wS0"}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out, tab := measuredTable(m, cfg.words(), "Send transfers", keys, paperTab2[m.Name])
 				tables = append(tables, out)
 				g := func(k string) float64 { v, _ := tab.Get(k); return v }
@@ -120,9 +120,9 @@ func Tab3() Experiment {
 		PaperRef: "Table 3",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			keys := []string{"0R1", "0D1", "0R64", "0D64", "0Rw", "0Dw"}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out, tab := measuredTable(m, cfg.words(), "Receive transfers", keys, paperTab3[m.Name])
 				tables = append(tables, out)
 				g := func(k string) float64 { v, _ := tab.Get(k); return v }
@@ -148,9 +148,9 @@ func Tab4() Experiment {
 		PaperRef: "Table 4",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			congs := []float64{1, 2, 4}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out := &table.Table{
 					Title:  "Network bandwidth (MB/s) — " + m.Name,
 					Header: []string{"mode", "congestion", "simulated", "paper", "delta"},
@@ -178,7 +178,7 @@ func Tab4() Experiment {
 
 			// Also verify the event-level network reproduces the
 			// analytic rates: one flow at congestion 1.
-			t3d := machine.T3D()
+			t3d := cfg.t3d()
 			net := netsim.MustNewNetwork(t3d.Topo, t3d.Net)
 			payload := int64(1 << 20)
 			done := net.Send(0, 0, 1, payload, netsim.DataOnly)
@@ -198,9 +198,9 @@ func Fig4() Experiment {
 		PaperRef: "Figure 4",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			strides := []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				pts := calibrate.StrideSweep(m, strides, cfg.words())
 				out := &table.Table{
 					Title:  "Strided copies (MB/s) — " + m.Name,
@@ -258,12 +258,12 @@ func Fig1() Experiment {
 		PaperRef: "Figure 1",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			sizes := []int{1 << 7, 1 << 9, 1 << 11, 1 << 13, 1 << 15, 1 << 17, 1 << 19}
 			if cfg.Quick {
 				sizes = sizes[:5]
 			}
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				out := &table.Table{
 					Title:  "Contiguous transfer throughput (MB/s) — " + m.Name,
 					Header: []string{"block bytes", "PVM", "fastest library"},

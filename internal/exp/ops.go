@@ -52,7 +52,7 @@ func Sec51() Experiment {
 		PaperRef: "Sections 5.1.1-5.1.4",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			cases := []qCase{
 				{"1Q1", pattern.Contig(), pattern.Contig()},
 				{"1Q64", pattern.Contig(), pattern.Strided(64)},
@@ -61,7 +61,7 @@ func Sec51() Experiment {
 				{"wQw", pattern.Indexed(), pattern.Indexed()},
 			}
 			paperTabs := model.PaperTables()
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				caps := model.CapsOf(m)
 				calRT := calibrate.Measure(m, cfg.words()).ToRateTable(m)
 				papRT := paperTabs[m.Name]
@@ -159,8 +159,8 @@ func figExperiment(id, ref string, mk func() *machine.Machine) Experiment {
 		Title:    "Packed vs. chained throughput across access patterns",
 		PaperRef: ref,
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			m := mk()
-			var c check
+			m := mk().Observe(cfg.Stats)
+			c := cfg.checks()
 			out := &table.Table{
 				Title:  "xQy measured throughput (MB/s) — " + m.Name,
 				Header: []string{"op", "buffer-packing", "chained", "chained/packed"},
@@ -230,13 +230,13 @@ func Tab5() Experiment {
 		PaperRef: "Table 5, Section 5.2",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
 			var tables []*table.Table
-			var c check
+			c := cfg.checks()
 			cases := []qCase{
 				{"1Q16", pattern.Contig(), pattern.Strided(16)},
 				{"16Q1", pattern.Strided(16), pattern.Contig()},
 			}
 			type cell struct{ packed, chained float64 }
-			for _, m := range machine.Profiles() {
+			for _, m := range cfg.machines() {
 				caps := model.CapsOf(m)
 				calRT := calibrate.Measure(m, cfg.words()).ToRateTable(m)
 				out := &table.Table{
@@ -307,8 +307,8 @@ func Sec341() Experiment {
 		Title:    "Worked example: |1Q1024| on the T3D",
 		PaperRef: "Section 3.4.1",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			m := machine.T3D()
-			var c check
+			m := cfg.t3d()
+			c := cfg.checks()
 			caps := model.CapsOf(m)
 			calRT := calibrate.Measure(m, cfg.words()).ToRateTable(m)
 			expr := model.BufferPacking(caps, pattern.Contig(), pattern.Strided(1024))

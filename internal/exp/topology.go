@@ -10,7 +10,6 @@ package exp
 
 import (
 	"ctcomm/internal/aapc"
-	"ctcomm/internal/machine"
 	"ctcomm/internal/netsim"
 	"ctcomm/internal/table"
 )
@@ -22,7 +21,7 @@ func ExtTopology() Experiment {
 		Title:    "Topology quirks: shared ports, aspect ratios, 1024-node tori",
 		PaperRef: "Section 4.3",
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			var c check
+			c := cfg.checks()
 			var tables []*table.Table
 
 			// T3D tori of growing size: the scheduled complete exchange
@@ -36,7 +35,7 @@ func ExtTopology() Experiment {
 				Header: []string{"torus", "nodes", "XOR max phase congestion"},
 			}
 			for _, sz := range t3dSizes {
-				m, err := machine.T3DSized(sz[0], sz[1], sz[2])
+				m, err := cfg.t3dSized(sz[0], sz[1], sz[2])
 				if err != nil {
 					return nil, nil, err
 				}
@@ -83,7 +82,7 @@ func ExtTopology() Experiment {
 			}
 			perNode := map[string]float64{}
 			for _, mc := range meshes {
-				m, err := machine.ParagonSized(mc.x, mc.y)
+				m, err := cfg.paragonSized(mc.x, mc.y)
 				if err != nil {
 					return nil, nil, err
 				}

@@ -11,6 +11,7 @@ import (
 	"ctcomm/internal/memsim"
 	"ctcomm/internal/netsim"
 	"ctcomm/internal/pattern"
+	"ctcomm/internal/sim"
 )
 
 // NIConfig describes the processor-visible network interface: a
@@ -172,6 +173,16 @@ func (m *Machine) Validate() error {
 
 // Nodes returns the number of compute nodes in the configured machine.
 func (m *Machine) Nodes() int { return m.Topo.Nodes() }
+
+// Observe directs every simulator built from this machine's memory and
+// network configurations to record its work (accesses, events,
+// simulated time) into st. A nil st disables collection. It returns m
+// to allow chaining at construction sites.
+func (m *Machine) Observe(st *sim.Stats) *Machine {
+	m.Mem.Stats = st
+	m.Net.Stats = st
+	return m
+}
 
 // Node is one processing element: the machine profile plus its private
 // memory-system state.

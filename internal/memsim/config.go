@@ -16,7 +16,11 @@
 // throughput figure in this repository.
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"ctcomm/internal/sim"
+)
 
 // WritePolicy selects how processor stores interact with the cache.
 type WritePolicy int
@@ -54,6 +58,12 @@ func (p WritePolicy) String() string {
 // all sizes are bytes unless noted.
 type Config struct {
 	Name string
+
+	// Stats, when non-nil, accumulates access counts and simulated time
+	// from every Run/EngineRead/EngineWrite on memories built from this
+	// configuration. The experiment runner attaches one Stats per
+	// experiment to attribute simulator work under concurrency.
+	Stats *sim.Stats
 
 	// ClockNs is the processor cycle time.
 	ClockNs float64

@@ -82,5 +82,6 @@ func (m *Memory) engineRun(st *pattern.Stream, write bool) Result {
 	res.RowHits = m.dram.rowHits - startRowHits
 	res.RowMisses = m.dram.rowMiss - startRowMiss
 	m.dram.busy = 0
+	m.cfg.Stats.RecordAccesses(res.Loads+res.Stores, res.ElapsedNs)
 	return res
 }

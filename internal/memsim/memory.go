@@ -136,6 +136,7 @@ func (m *Memory) Run(accesses []pattern.Access) Result {
 	res.RowHits = m.dram.rowHits - startRowHits
 	res.RowMisses = m.dram.rowMiss - startRowMiss
 	m.dram.busy = 0
+	m.cfg.Stats.RecordAccesses(res.Loads+res.Stores, res.ElapsedNs)
 	return res
 }
 

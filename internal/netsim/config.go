@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ctcomm/internal/pattern"
+	"ctcomm/internal/sim"
 )
 
 // Mode selects the framing of an inter-node transfer (paper §3.2).
@@ -64,6 +65,12 @@ type Config struct {
 	// but "when withdrawing data, the latency is higher since address
 	// information has to travel first" (paper §3.5 footnote 2).
 	HopLatencyNs float64
+
+	// Stats, when non-nil, accumulates event counts and simulated time
+	// from every Batch/BatchCircuit run on networks built from this
+	// configuration. The experiment runner attaches one Stats per
+	// experiment to attribute simulator work under concurrency.
+	Stats *sim.Stats
 }
 
 // Validate checks the configuration.

@@ -202,5 +202,6 @@ func (n *Network) Batch(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, 
 		eng.Schedule(at, func() { deliver(first) })
 	}
 	eng.Run()
+	n.cfg.Stats.RecordEvents(eng.Dispatched(), makespan-at)
 	return done, makespan
 }

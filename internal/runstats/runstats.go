@@ -1,0 +1,116 @@
+// Package runstats collects per-experiment run metrics — wall time,
+// simulated time, simulator event and access counts, and shape-check
+// tallies — and renders them as a human-readable summary table or as
+// machine-readable JSON. CI archives the JSON per commit so the repo
+// accumulates a performance trajectory alongside its correctness gates.
+package runstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ctcomm/internal/table"
+)
+
+// Run holds the metrics of one experiment execution.
+type Run struct {
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
+	// WallMs is the real time the experiment took. It varies run to run
+	// and across -j levels; everything else in the record must not.
+	WallMs float64 `json:"wall_ms"`
+	// SimMs is the simulated time accumulated across every simulator run
+	// the experiment performed (each run restarts its clock, so this is
+	// total simulated work, not one timeline).
+	SimMs float64 `json:"sim_ms"`
+	// Events counts discrete events dispatched by sim engines.
+	Events int64 `json:"events"`
+	// MemAccesses counts word accesses simulated by the memory system.
+	MemAccesses int64 `json:"mem_accesses"`
+	// ChecksTotal and ChecksFailed tally the experiment's shape checks.
+	ChecksTotal  int  `json:"checks_total"`
+	ChecksFailed int  `json:"checks_failed"`
+	Pass         bool `json:"pass"`
+	// Error is set when the experiment aborted before its checks ran.
+	Error string `json:"error,omitempty"`
+}
+
+// Totals aggregates the deterministic counters over a batch of runs.
+type Totals struct {
+	SimMs        float64 `json:"sim_ms"`
+	Events       int64   `json:"events"`
+	MemAccesses  int64   `json:"mem_accesses"`
+	ChecksTotal  int     `json:"checks_total"`
+	ChecksFailed int     `json:"checks_failed"`
+	Failed       int     `json:"experiments_failed"`
+}
+
+// Summary is the batch-level record emitted by cmd/experiments -stats.
+type Summary struct {
+	Quick   bool `json:"quick"`
+	Workers int  `json:"workers"`
+	// WallMs is the wall time of the whole batch (not the sum of the
+	// per-run wall times, which overlap under the parallel runner).
+	WallMs float64 `json:"wall_ms"`
+	Runs   []Run   `json:"runs"`
+	Totals Totals  `json:"totals"`
+}
+
+// NewSummary returns an empty summary for a batch run with the given
+// configuration.
+func NewSummary(quick bool, workers int) *Summary {
+	return &Summary{Quick: quick, Workers: workers, Runs: []Run{}}
+}
+
+// Add appends one run's metrics and folds them into the totals.
+func (s *Summary) Add(r Run) {
+	s.Runs = append(s.Runs, r)
+	s.Totals.SimMs += r.SimMs
+	s.Totals.Events += r.Events
+	s.Totals.MemAccesses += r.MemAccesses
+	s.Totals.ChecksTotal += r.ChecksTotal
+	s.Totals.ChecksFailed += r.ChecksFailed
+	if !r.Pass {
+		s.Totals.Failed++
+	}
+}
+
+// WriteJSON emits the summary as indented JSON with a trailing newline.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes the summary as a plain-text table.
+func (s *Summary) Render(w io.Writer) error {
+	t := &table.Table{
+		Title:  fmt.Sprintf("Run metrics (%d experiment(s), %d worker(s))", len(s.Runs), s.Workers),
+		Header: []string{"experiment", "wall ms", "sim ms", "events", "mem accesses", "checks", "result"},
+	}
+	for _, r := range s.Runs {
+		result := "pass"
+		switch {
+		case r.Error != "":
+			result = "error"
+		case !r.Pass:
+			result = "FAIL"
+		}
+		t.AddRow(r.ID,
+			fmt.Sprintf("%.1f", r.WallMs),
+			fmt.Sprintf("%.1f", r.SimMs),
+			fmt.Sprintf("%d", r.Events),
+			fmt.Sprintf("%d", r.MemAccesses),
+			fmt.Sprintf("%d/%d", r.ChecksTotal-r.ChecksFailed, r.ChecksTotal),
+			result)
+	}
+	t.AddRow("TOTAL",
+		fmt.Sprintf("%.1f", s.WallMs),
+		fmt.Sprintf("%.1f", s.Totals.SimMs),
+		fmt.Sprintf("%d", s.Totals.Events),
+		fmt.Sprintf("%d", s.Totals.MemAccesses),
+		fmt.Sprintf("%d/%d", s.Totals.ChecksTotal-s.Totals.ChecksFailed, s.Totals.ChecksTotal),
+		fmt.Sprintf("%d failed", s.Totals.Failed))
+	return t.Render(w)
+}

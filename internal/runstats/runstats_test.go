@@ -1,0 +1,76 @@
+package runstats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Summary {
+	s := NewSummary(true, 4)
+	s.WallMs = 120.5
+	s.Add(Run{ID: "tab1", Title: "t", WallMs: 10, SimMs: 2.5, Events: 0, MemAccesses: 1000,
+		ChecksTotal: 4, ChecksFailed: 0, Pass: true})
+	s.Add(Run{ID: "tab4", WallMs: 30, SimMs: 7.5, Events: 500, MemAccesses: 0,
+		ChecksTotal: 6, ChecksFailed: 2, Pass: false})
+	return s
+}
+
+func TestTotals(t *testing.T) {
+	s := sample()
+	want := Totals{SimMs: 10, Events: 500, MemAccesses: 1000, ChecksTotal: 10, ChecksFailed: 2, Failed: 1}
+	if s.Totals != want {
+		t.Errorf("Totals = %+v, want %+v", s.Totals, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := sample()
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Workers != 4 || !got.Quick || got.WallMs != 120.5 || len(got.Runs) != 2 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.Runs[1].Events != 500 || got.Totals != s.Totals {
+		t.Errorf("round trip lost counters: %+v", got)
+	}
+	for _, key := range []string{"wall_ms", "sim_ms", "events", "mem_accesses", "checks_total", "checks_failed"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing key %q", key)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	var buf strings.Builder
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tab1", "tab4", "4/4", "4/6", "FAIL", "TOTAL", "1 failed", "events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrorRun(t *testing.T) {
+	s := NewSummary(false, 1)
+	s.Add(Run{ID: "boom", Error: "exploded", Pass: false})
+	var buf strings.Builder
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "error") {
+		t.Errorf("error result not rendered:\n%s", buf.String())
+	}
+	if s.Totals.Failed != 1 {
+		t.Errorf("errored run must count as failed: %+v", s.Totals)
+	}
+}

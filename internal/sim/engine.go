@@ -61,9 +61,10 @@ func (q *eventQueue) Pop() interface{} {
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create engines with NewEngine.
 type Engine struct {
-	now   Time
-	seq   uint64
-	queue eventQueue
+	now        Time
+	seq        uint64
+	dispatched int64
+	queue      eventQueue
 }
 
 // NewEngine returns an engine with the clock at zero and an empty agenda.
@@ -98,6 +99,7 @@ func (e *Engine) Run() Time {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
+		e.dispatched++
 		ev.fn()
 	}
 	return e.now
@@ -111,6 +113,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
+		e.dispatched++
 		ev.fn()
 	}
 	return e.now
@@ -118,3 +121,6 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Dispatched returns the number of events this engine has executed.
+func (e *Engine) Dispatched() int64 { return e.dispatched }
