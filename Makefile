@@ -4,7 +4,7 @@ GO ?= go
 J ?= 4
 CIOUT ?= ci-out
 
-.PHONY: all build test test-short bench experiments fuzz fuzz-smoke gofmt-check race ci clean
+.PHONY: all build test test-short bench bench-hotpath experiments fuzz fuzz-smoke gofmt-check race ci clean
 
 all: build test
 
@@ -21,6 +21,12 @@ test-short:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+# The memsim streaming hot path must stay allocation-free: the
+# steady-state RunStream benchmarks report 0 allocs/op (also asserted
+# by TestRunStreamAllocFree).
+bench-hotpath:
+	$(GO) test -bench 'BenchmarkRunStream|BenchmarkLoadStream|BenchmarkStoreStream|BenchmarkEngineWrite' -benchmem ./internal/memsim/
+
 experiments:
 	$(GO) run ./cmd/experiments -check -j $(J)
 
@@ -28,11 +34,13 @@ fuzz:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 15s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 15s ./internal/pattern/
+	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 30s ./internal/memsim/
 
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 10s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 10s ./internal/pattern/
+	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 10s ./internal/memsim/
 
 gofmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -43,10 +51,15 @@ race:
 
 # ci mirrors .github/workflows/ci.yml locally: build/vet/test, gofmt,
 # race, the parallel experiment shape gate (metrics archived under
-# $(CIOUT)/), the fuzz smoke pass, and the one-iteration bench sweep.
+# $(CIOUT)/), the fast-forward differential gate (stdout must be
+# byte-identical with and without -no-fast-forward), the fuzz smoke
+# pass, and the one-iteration bench sweep.
 ci: build gofmt-check test race
 	mkdir -p $(CIOUT)
 	$(GO) run ./cmd/experiments -quick -check -j $(J) -stats $(CIOUT)/experiments-stats.json
+	$(GO) run ./cmd/experiments -quick -check -only tab1,tab2,tab3,fig4 -j $(J) > $(CIOUT)/ff-on.txt 2>/dev/null
+	$(GO) run ./cmd/experiments -quick -check -only tab1,tab2,tab3,fig4 -j $(J) -no-fast-forward > $(CIOUT)/ff-off.txt 2>/dev/null
+	cmp $(CIOUT)/ff-on.txt $(CIOUT)/ff-off.txt
 	$(MAKE) fuzz-smoke
 	$(GO) test -bench . -benchtime 1x -benchmem ./... | tee $(CIOUT)/bench.txt
 

@@ -27,9 +27,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"ctcomm/internal/calibrate"
 	"ctcomm/internal/exp"
 	"ctcomm/internal/runstats"
 )
@@ -57,9 +59,41 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		mdFlag    = fs.String("md", "", "file to write a markdown report to")
 		jFlag     = fs.Int("j", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 		statsFlag = fs.String("stats", "", "file to write per-experiment run metrics as JSON")
+		noFFFlag  = fs.Bool("no-fast-forward", false, "disable memsim steady-state fast-forward (identical results, slower)")
+		cpuFlag   = fs.String("cpuprofile", "", "file to write a CPU profile to")
+		memFlag   = fs.String("memprofile", "", "file to write an allocation (heap) profile to")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+
+	if *cpuFlag != "" {
+		f, err := os.Create(*cpuFlag)
+		if err != nil {
+			return 1, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memFlag != "" {
+		defer func() {
+			f, err := os.Create(*memFlag)
+			if err != nil {
+				fmt.Fprintln(errOut, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(errOut, "experiments: memprofile:", err)
+			}
+		}()
 	}
 
 	if *listFlag {
@@ -76,7 +110,7 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		}
 	}
 
-	cfg := exp.Config{Quick: *quickFlag}
+	cfg := exp.Config{Quick: *quickFlag, NoFastForward: *noFFFlag}
 	if *csvFlag != "" {
 		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
 			return 1, err
@@ -124,6 +158,7 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		}
 	}
 
+	summary.CalibrationHits, summary.CalibrationMisses = calibrate.CacheStats()
 	if err := summary.Render(errOut); err != nil {
 		return 1, err
 	}

@@ -9,9 +9,12 @@ package calibrate
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ctcomm/internal/machine"
 	"ctcomm/internal/pattern"
+	"ctcomm/internal/sim"
 	"ctcomm/internal/xfer"
 )
 
@@ -58,14 +61,93 @@ var memPatterns = []pattern.Spec{
 	pattern.Indexed(),
 }
 
-// Measure runs every basic transfer the machine supports with the
-// pattern set of the paper's tables and returns the rate table. Each
-// measurement uses a fresh (cold) node, as the paper's microbenchmarks
-// operate far beyond cache capacity.
+// Calibration memoization. Rate tables are pure functions of the machine
+// profile and the block size, and the experiment suite measures the same
+// few machines over and over, so tables are cached process-wide. The
+// cache stores only immutable result tables and the simulator-work
+// attribution of the one real measurement — never simulators — keeping
+// the "no shared engines" concurrency invariant intact.
+//
+// Attribution: the real measurement runs on a private clone of the
+// machine observing a private sim.Stats, and EVERY Measure call (hit or
+// miss) replays the recorded (accesses, simulated ns) into the caller's
+// Stats. Per-experiment attribution is therefore identical regardless of
+// which experiment happens to measure first, which keeps serial and
+// parallel runs byte-identical.
+type cacheEntry struct {
+	once     sync.Once
+	table    *Table
+	accesses int64
+	simNs    int64
+}
+
+var (
+	cacheMu     sync.Mutex
+	cache       = map[string]*cacheEntry{}
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+)
+
+// CacheStats reports process-wide calibration cache hits and misses.
+func CacheStats() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// fingerprint keys the cache by everything a rate table depends on. The
+// Stats pointer is attribution plumbing, not configuration, and is
+// excluded.
+func fingerprint(m *machine.Machine, words int) string {
+	mem := m.Mem
+	mem.Stats = nil
+	return fmt.Sprintf("%d|%+v|%+v|%+v|%+v", words, mem, m.NI, m.Deposit, m.Fetch)
+}
+
+// Measure returns the basic-transfer rate table for machine m at the
+// given block size, measuring it at most once per process (see the
+// memoization notes above). The returned table is the caller's to
+// mutate.
 func Measure(m *machine.Machine, words int) *Table {
 	if words <= 0 {
 		words = DefaultWords
 	}
+	key := fingerprint(m, words)
+	cacheMu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		cache[key] = e
+	}
+	cacheMu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		cacheMisses.Add(1)
+		var st sim.Stats
+		clone := *m
+		clone.Observe(&st)
+		e.table = measureUncached(&clone, words)
+		e.accesses = st.Accesses()
+		e.simNs = int64(st.SimTime())
+	})
+	if hit {
+		cacheHits.Add(1)
+	}
+	// Replay the measurement's simulator work into the caller's stats.
+	m.Mem.Stats.RecordAccesses(e.accesses, float64(e.simNs))
+
+	out := &Table{Machine: e.table.Machine, Rates: make(map[string]float64, len(e.table.Rates))}
+	for k, v := range e.table.Rates {
+		out.Rates[k] = v
+	}
+	return out
+}
+
+// measureUncached runs every basic transfer the machine supports with
+// the pattern set of the paper's tables and returns the rate table. Each
+// measurement uses a fresh (cold) node, as the paper's microbenchmarks
+// operate far beyond cache capacity.
+func measureUncached(m *machine.Machine, words int) *Table {
 	t := &Table{Machine: m.Name, Rates: make(map[string]float64)}
 
 	// Local copies xCy for all pattern combinations (Table 1 and Fig 4).

@@ -2,12 +2,14 @@ package calibrate
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
 	"ctcomm/internal/netsim"
 	"ctcomm/internal/pattern"
+	"ctcomm/internal/sim"
 )
 
 // paperBands lists the paper's measured rates (Tables 1-3) with the
@@ -216,6 +218,74 @@ func TestBlockStridedBeatsPlainStrided(t *testing.T) {
 		}
 		if blockedL <= plainL {
 			t.Errorf("%s: 64x2C1 %.1f <= 64C1 %.1f", m.Name, blockedL, plainL)
+		}
+	}
+}
+
+func TestMeasureMemoized(t *testing.T) {
+	m := machine.T3D()
+	h0, m0 := CacheStats()
+	a := Measure(m, 1<<13)
+	h1, m1 := CacheStats()
+	if m1 != m0+1 {
+		t.Fatalf("first Measure: misses %d -> %d, want one new miss", m0, m1)
+	}
+	b := Measure(m, 1<<13)
+	h2, _ := CacheStats()
+	if h2 != h1+1 {
+		t.Fatalf("second Measure: hits %d -> %d, want one new hit", h1, h2)
+	}
+	_ = h0
+	if len(a.Rates) != len(b.Rates) {
+		t.Fatalf("cached table differs in size: %d vs %d", len(a.Rates), len(b.Rates))
+	}
+	for k, v := range a.Rates {
+		if b.Rates[k] != v {
+			t.Errorf("cached rate %s: %v != %v", k, b.Rates[k], v)
+		}
+	}
+	// The returned table must be a private copy.
+	a.Rates["1C1"] = -1
+	c := Measure(m, 1<<13)
+	if c.Rates["1C1"] == -1 {
+		t.Error("Measure returned a shared table; mutation leaked into the cache")
+	}
+}
+
+func TestMeasureReplaysAttribution(t *testing.T) {
+	// Every Measure call must attribute the same simulator work to the
+	// caller's Stats, whether it hits or misses the cache — that is what
+	// keeps serial and parallel experiment runs byte-identical.
+	var s1, s2 sim.Stats
+	m1 := machine.T3D().Observe(&s1)
+	Measure(m1, 1<<12)
+	m2 := machine.T3D().Observe(&s2)
+	Measure(m2, 1<<12)
+	if s1.Accesses() == 0 {
+		t.Fatal("first Measure attributed no accesses")
+	}
+	if s1.Accesses() != s2.Accesses() || s1.SimTime() != s2.SimTime() {
+		t.Errorf("attribution differs: accesses %d vs %d, simNs %v vs %v",
+			s1.Accesses(), s2.Accesses(), s1.SimTime(), s2.SimTime())
+	}
+}
+
+func TestMeasureConcurrentSingleflight(t *testing.T) {
+	var wg sync.WaitGroup
+	tables := make([]*Table, 8)
+	for i := range tables {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i] = Measure(machine.Paragon(), 1<<11)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(tables); i++ {
+		for k, v := range tables[0].Rates {
+			if tables[i].Rates[k] != v {
+				t.Fatalf("concurrent Measure %d: rate %s differs", i, k)
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"ctcomm/internal/machine"
+	"ctcomm/internal/memsim"
 	"ctcomm/internal/sim"
 	"ctcomm/internal/table"
 )
@@ -29,6 +30,11 @@ type Config struct {
 	// Config's construction helpers. Execute installs a fresh Stats per
 	// run so concurrent experiments never share one.
 	Stats *sim.Stats
+	// NoFastForward disables memsim's steady-state fast-forward on every
+	// machine built through the Config's helpers. Results are identical
+	// either way (the differential CI gate depends on it); only wall
+	// time changes.
+	NoFastForward bool
 
 	// tally counts the shape checks made through checks(); installed by
 	// Execute, nil otherwise (counting is then disabled).
@@ -41,18 +47,27 @@ type tally struct{ total, failed int }
 // checks returns a shape-check collector wired to the run's tally.
 func (c Config) checks() check { return check{tally: c.tally} }
 
+// instrument applies the run's stats collector and fast-forward setting.
+func (c Config) instrument(m *machine.Machine) *machine.Machine {
+	m.Observe(c.Stats)
+	if c.NoFastForward {
+		m.Mem.FastForward = memsim.FastForwardOff
+	}
+	return m
+}
+
 // machines returns the paper's machine profiles instrumented with the
 // run's stats collector.
 func (c Config) machines() []*machine.Machine {
 	ms := machine.Profiles()
 	for _, m := range ms {
-		m.Observe(c.Stats)
+		c.instrument(m)
 	}
 	return ms
 }
 
 // t3d returns the instrumented Cray T3D profile.
-func (c Config) t3d() *machine.Machine { return machine.T3D().Observe(c.Stats) }
+func (c Config) t3d() *machine.Machine { return c.instrument(machine.T3D()) }
 
 // t3dSized returns an instrumented T3D profile on an x*y*z torus.
 func (c Config) t3dSized(x, y, z int) (*machine.Machine, error) {
@@ -60,7 +75,7 @@ func (c Config) t3dSized(x, y, z int) (*machine.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Observe(c.Stats), nil
+	return c.instrument(m), nil
 }
 
 // paragonSized returns an instrumented Paragon profile on an x*y mesh.
@@ -69,7 +84,7 @@ func (c Config) paragonSized(x, y int) (*machine.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Observe(c.Stats), nil
+	return c.instrument(m), nil
 }
 
 // words returns the microbenchmark block size.

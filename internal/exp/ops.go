@@ -159,7 +159,7 @@ func figExperiment(id, ref string, mk func() *machine.Machine) Experiment {
 		Title:    "Packed vs. chained throughput across access patterns",
 		PaperRef: ref,
 		Run: func(cfg Config) ([]*table.Table, []string, error) {
-			m := mk().Observe(cfg.Stats)
+			m := cfg.instrument(mk())
 			c := cfg.checks()
 			out := &table.Table{
 				Title:  "xQy measured throughput (MB/s) — " + m.Name,

@@ -3,6 +3,7 @@ package exp
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -33,6 +34,8 @@ func (e Experiment) Execute(cfg Config) Result {
 	cfg.Stats, cfg.tally = st, tl
 
 	res := Result{Experiment: e}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "== %s: %s (%s) ==\n\n", e.ID, e.Title, e.PaperRef)
@@ -63,13 +66,21 @@ func (e Experiment) Execute(cfg Config) Result {
 		res.Failures = failures
 	}
 
+	wall := time.Since(start)
+	// Allocation deltas come from the global heap counters, so — like
+	// WallMs — they are approximate when experiments run concurrently
+	// (the serial path attributes them exactly).
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 	m := runstats.Run{
 		ID:           e.ID,
 		Title:        e.Title,
-		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+		WallMs:       float64(wall) / float64(time.Millisecond),
 		SimMs:        float64(st.SimTime()) / 1e6,
 		Events:       st.Events(),
 		MemAccesses:  st.Accesses(),
+		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		AllocObjects: ms1.Mallocs - ms0.Mallocs,
 		ChecksTotal:  tl.total,
 		ChecksFailed: tl.failed,
 		Pass:         res.Err == nil && len(failures) == 0,

@@ -1,5 +1,7 @@
 package memsim
 
+import "math/bits"
+
 // cache is a set-associative, LRU, word-addressed tag store. Only tags
 // are tracked — the simulator needs hit/miss decisions and evictions,
 // never data. With the write-around and write-through policies of the
@@ -7,6 +9,8 @@ package memsim
 // free; the structure still records them for diagnostics.
 type cache struct {
 	lineBytes int
+	lineShift uint  // log2(lineBytes); LineBytes is validated a power of two
+	setMask   int64 // sets-1 when sets is a power of two, else -1
 	sets      int
 	ways      int
 	// tags[set][way] holds the line number (addr/lineBytes); lru[set][way]
@@ -27,10 +31,15 @@ func newCache(cfg *Config) *cache {
 	sets := lines / cfg.Ways
 	c := &cache{
 		lineBytes: cfg.LineBytes,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   -1,
 		sets:      sets,
 		ways:      cfg.Ways,
 		tags:      make([][]int64, sets),
 		lru:       make([][]int64, sets),
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = int64(sets - 1)
 	}
 	c.dirty = make([][]bool, sets)
 	for s := range c.tags {
@@ -44,9 +53,14 @@ func newCache(cfg *Config) *cache {
 	return c
 }
 
-func (c *cache) line(addr int64) int64 { return addr / int64(c.lineBytes) }
+// line maps a byte address to its line number. Addresses are
+// non-negative, so the shift equals division by lineBytes.
+func (c *cache) line(addr int64) int64 { return addr >> c.lineShift }
 
 func (c *cache) set(line int64) int {
+	if c.setMask >= 0 {
+		return int(line & c.setMask)
+	}
 	s := line % int64(c.sets)
 	if s < 0 {
 		s += int64(c.sets)

@@ -54,10 +54,39 @@ func (p WritePolicy) String() string {
 	}
 }
 
+// FFMode gates the steady-state fast-forward optimization (see ff.go).
+type FFMode int
+
+const (
+	// FastForwardAuto (the zero value) lets RunStream extrapolate
+	// steady-state periods of eligible patterns. Results are bit-identical
+	// to exact simulation; this is the default.
+	FastForwardAuto FFMode = iota
+	// FastForwardOff forces word-by-word simulation everywhere. Used by
+	// the differential tests and the -no-fast-forward experiment flag.
+	FastForwardOff
+)
+
+func (f FFMode) String() string {
+	switch f {
+	case FastForwardAuto:
+		return "auto"
+	case FastForwardOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FFMode(%d)", int(f))
+	}
+}
+
 // Config parameterizes one node memory system. All times are nanoseconds;
 // all sizes are bytes unless noted.
 type Config struct {
 	Name string
+
+	// FastForward gates the steady-state fast-forward optimization of
+	// RunStream. The default (FastForwardAuto) enables it; results are
+	// bit-identical either way (DESIGN.md §6).
+	FastForward FFMode
 
 	// Stats, when non-nil, accumulates access counts and simulated time
 	// from every Run/EngineRead/EngineWrite on memories built from this

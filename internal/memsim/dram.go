@@ -1,33 +1,61 @@
 package memsim
 
+import "math/bits"
+
 // dram models a single non-interleaved DRAM bank with open-page (row)
 // mode, matching the "simple non-interleaved memory system built from
 // DRAM chips" of the T3D node and the very similar Paragon memory
 // (paper §3.5). It is a busy-until resource: claims serialize, and each
 // claim pays row-hit or row-miss latency depending on the page left open
 // by the previous claim, plus per-word bus occupancy.
+//
+// All times are kept in integer femtoseconds (see the fs helpers in
+// memory.go): per-operation costs are rounded to fs once at construction,
+// so accumulating them is exact integer arithmetic. That is what makes
+// the steady-state fast-forward bit-exact — n periods cost exactly n
+// times one period, which would not hold for float64 accumulation.
 type dram struct {
-	cfg      *Config
-	freeAt   float64 // ns at which the bank is next idle
-	openPage int64   // currently open page number, -1 if none
-	busy     float64 // cumulative busy ns
+	pageBytes    int64
+	pageShift    uint // log2(pageBytes); PageBytes is validated a power of two
+	rowHitFs     int64
+	rowMissFs    int64
+	wordFs       int64
+	writeOpFs    int64
+	engineOpFs   int64
+	postedCloses bool
+
+	freeAt   int64 // fs at which the bank is next idle
+	openPage int64 // currently open page number, -1 if none
+	busy     int64 // cumulative busy fs
 	rowHits  int64
 	rowMiss  int64
 }
 
 func newDRAM(cfg *Config) *dram {
-	return &dram{cfg: cfg, openPage: -1}
+	return &dram{
+		pageBytes:    int64(cfg.PageBytes),
+		pageShift:    uint(bits.TrailingZeros(uint(cfg.PageBytes))),
+		rowHitFs:     toFs(cfg.RowHitNs),
+		rowMissFs:    toFs(cfg.RowMissNs),
+		wordFs:       toFs(cfg.WordNs),
+		writeOpFs:    toFs(cfg.WriteOpNs),
+		engineOpFs:   toFs(cfg.EngineOpNs),
+		postedCloses: cfg.PostedWriteClosesPage,
+		openPage:     -1,
+	}
 }
 
+// page maps a byte address to its page number. Addresses are
+// non-negative, so the shift equals division by pageBytes.
 func (d *dram) page(addr int64) int64 {
-	return addr / int64(d.cfg.PageBytes)
+	return addr >> d.pageShift
 }
 
 // claim reserves the bank for one access of words 8-byte words at byte
 // address addr, starting no earlier than at. It returns the completion
 // time. The latency component is row-hit or row-miss depending on the
 // open page.
-func (d *dram) claim(at float64, addr int64, words int) (done float64) {
+func (d *dram) claim(at int64, addr int64, words int) (done int64) {
 	_, done = d.claimCW(at, addr, words)
 	return done
 }
@@ -35,46 +63,46 @@ func (d *dram) claim(at float64, addr int64, words int) (done float64) {
 // claimCW is claim with critical-word-first timing: it additionally
 // returns dataAt, the time the first requested word is available, while
 // the bank stays busy until the full burst completes.
-func (d *dram) claimCW(at float64, addr int64, words int) (dataAt, done float64) {
+func (d *dram) claimCW(at int64, addr int64, words int) (dataAt, done int64) {
 	start := at
 	if d.freeAt > start {
 		start = d.freeAt
 	}
-	lat := d.cfg.RowMissNs
+	lat := d.rowMissFs
 	p := d.page(addr)
 	if p == d.openPage {
-		lat = d.cfg.RowHitNs
+		lat = d.rowHitFs
 		d.rowHits++
 	} else {
 		d.rowMiss++
 	}
-	dur := lat + float64(words)*d.cfg.WordNs
+	dur := lat + int64(words)*d.wordFs
 	d.freeAt = start + dur
 	d.busy += dur
 	d.openPage = p
-	return start + lat + d.cfg.WordNs, d.freeAt
+	return start + lat + d.wordFs, d.freeAt
 }
 
 // claimPosted reserves the bank for one posted-write drain of words
 // 8-byte words, applying the per-transaction write cost and, if
 // configured, closing the page.
-func (d *dram) claimPosted(at float64, addr int64, words int) (done float64) {
+func (d *dram) claimPosted(at int64, addr int64, words int) (done int64) {
 	start := at
 	if d.freeAt > start {
 		start = d.freeAt
 	}
-	lat := d.cfg.RowMissNs
+	lat := d.rowMissFs
 	p := d.page(addr)
-	if !d.cfg.PostedWriteClosesPage && p == d.openPage {
-		lat = d.cfg.RowHitNs
+	if !d.postedCloses && p == d.openPage {
+		lat = d.rowHitFs
 		d.rowHits++
 	} else {
 		d.rowMiss++
 	}
-	dur := lat + float64(words)*d.cfg.WordNs + d.cfg.WriteOpNs
+	dur := lat + int64(words)*d.wordFs + d.writeOpFs
 	d.freeAt = start + dur
 	d.busy += dur
-	if d.cfg.PostedWriteClosesPage {
+	if d.postedCloses {
 		d.openPage = -1
 	} else {
 		d.openPage = p
@@ -85,13 +113,13 @@ func (d *dram) claimPosted(at float64, addr int64, words int) (done float64) {
 // claimEngine reserves the bank for a single-word engine (DMA/deposit)
 // operation: a full RAS/CAS cycle that closes the page, plus the
 // per-operation engine overhead.
-func (d *dram) claimEngine(at float64, addr int64) (done float64) {
+func (d *dram) claimEngine(at int64, addr int64) (done int64) {
 	start := at
 	if d.freeAt > start {
 		start = d.freeAt
 	}
 	d.rowMiss++
-	dur := d.cfg.RowMissNs + d.cfg.WordNs + d.cfg.EngineOpNs
+	dur := d.rowMissFs + d.wordFs + d.engineOpFs
 	d.freeAt = start + dur
 	d.busy += dur
 	d.openPage = -1
@@ -99,7 +127,7 @@ func (d *dram) claimEngine(at float64, addr int64) (done float64) {
 }
 
 // freeTime returns when the bank next becomes idle.
-func (d *dram) freeTime() float64 { return d.freeAt }
+func (d *dram) freeTime() int64 { return d.freeAt }
 
 func (d *dram) reset() {
 	d.freeAt = 0

@@ -36,18 +36,21 @@ func (m *Memory) engineRun(st *pattern.Stream, write bool) Result {
 
 	lineWords := m.cfg.LineWords()
 	lineBytes := int64(m.cfg.LineBytes)
-	t := 0.0
+	var t int64
 
+	st.Reset()
 	if st.Spec().Kind() == pattern.KindContig {
 		// Full-line bursts over the footprint.
-		words := st.Words()
-		addrs := st.Addresses()
-		for i := 0; i < words; {
-			addr := addrs[i]
-			n := lineWords - int((addr%lineBytes)/pattern.WordBytes)
-			if n > words-i {
-				n = words - i
+		for {
+			addr, ok := st.NextAddr()
+			if !ok {
+				break
 			}
+			n := lineWords - int((addr%lineBytes)/pattern.WordBytes)
+			if rem := st.Remaining() + 1; n > rem {
+				n = rem
+			}
+			st.Skip(n - 1)
 			t = m.dram.claim(t, addr, n)
 			if write {
 				m.cache.invalidate(addr)
@@ -55,13 +58,11 @@ func (m *Memory) engineRun(st *pattern.Stream, write bool) Result {
 			} else {
 				res.Loads += int64(n)
 			}
-			i += n
 		}
-		res.PayloadBytes = int64(words) * pattern.WordBytes
+		res.PayloadBytes = int64(st.Words()) * pattern.WordBytes
 	} else {
-		st.Reset()
 		for {
-			addr, ok := st.Next()
+			addr, ok := st.NextAddr()
 			if !ok {
 				break
 			}
@@ -74,11 +75,11 @@ func (m *Memory) engineRun(st *pattern.Stream, write bool) Result {
 			}
 			res.PayloadBytes += pattern.WordBytes
 		}
-		st.Reset()
 	}
+	st.Reset()
 
-	res.ElapsedNs = t
-	res.DRAMBusyNs = m.dram.busy
+	res.ElapsedNs = toNs(t)
+	res.DRAMBusyNs = toNs(m.dram.busy)
 	res.RowHits = m.dram.rowHits - startRowHits
 	res.RowMisses = m.dram.rowMiss - startRowMiss
 	m.dram.busy = 0

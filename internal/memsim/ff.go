@@ -1,0 +1,292 @@
+package memsim
+
+import "ctcomm/internal/pattern"
+
+// Steady-state fast-forward.
+//
+// Periodic address streams (contiguous and non-overlapping strided
+// patterns) drive the memory system into a steady state: once the cache
+// phase (position within the cache-wrap), the DRAM row phase (position
+// within the page) and the 128-bit quad phase all realign, the machine
+// performs exactly the same work per period, shifted in time and address
+// space. Because all internal time is exact integer femtoseconds
+// (memory.go), the cost of each such period is bit-for-bit identical, so
+// the simulator can stop walking words: it verifies recurrence over
+// three consecutive period boundaries and then extrapolates all
+// remaining whole periods by pure arithmetic, resuming exact simulation
+// for the tail. Results are identical — not approximately equal — to the
+// word-by-word run; the differential tests assert this field by field.
+//
+// The structural period is P rounds where one round consumes one payload
+// word from each active stream: the least number of rounds after which
+// every stream advances its addresses by a whole multiple of
+// L = lcm(CacheBytes, PageBytes, 16). Advancing by a multiple of
+// CacheBytes preserves the cache set/line phase, a multiple of PageBytes
+// preserves the DRAM row phase, and a multiple of 16 preserves the quad
+// phase of PFQ load pairing. Recurrence of the dynamic state (queue
+// occupancies, stream-buffer arming, time-relative completion times) is
+// then verified empirically on snapshots rather than assumed.
+//
+// Exactness argument for the jump itself:
+//   - Counters and address-valued registers (open page, stream-buffer
+//     line, write-merge line, last pipelined address) are checked to
+//     advance by a constant delta per period over three boundaries and
+//     are extrapolated linearly.
+//   - Pending completion times (DRAM free time, stream-buffer ready
+//     time, WBQ/PFQ entries) are checked to be constant relative to the
+//     current processor time and are translated by the jumped duration.
+//   - Cache tag contents are left stale. This is safe because eligible
+//     streams are monotone with line-aligned period boundaries: accesses
+//     after the jump reference strictly higher line numbers than every
+//     stale tag, so no spurious hits can occur, and the hit/miss/eviction
+//     counters (which do recur linearly) are advanced analytically.
+//     Dirty victims cannot exist since the write-back policy is
+//     excluded, so untracked evictions cost nothing.
+const (
+	// ffMaxQueue bounds the queue depths (and hence snapshot size) for
+	// which fast-forward is attempted; deeper queues fall back to exact
+	// per-word simulation.
+	ffMaxQueue = 8
+	// ffMaxPeriod bounds the structural period in rounds; patterns whose
+	// phases realign too slowly are not worth extrapolating.
+	ffMaxPeriod = 1 << 20
+	// ffMinPeriods is the minimum number of whole periods a run must
+	// contain before fast-forward is considered (warm-up + 3 verification
+	// snapshots + at least one period to skip).
+	ffMinPeriods = 5
+	// ffMaxProbe gives up after this many period boundaries without
+	// recurrence (e.g. a conflict-missing pattern that never settles).
+	ffMaxProbe = 12
+)
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 {
+	return a / gcd64(a, b) * b
+}
+
+// ffEligible reports whether one stream has a fast-forwardable shape and
+// returns its structural period in rounds (payload words).
+func ffEligible(st *pattern.Stream, L int64, lineBytes int) (rounds int64, ok bool) {
+	if st.Base()%int64(lineBytes) != 0 {
+		return 0, false
+	}
+	switch st.Spec().Kind() {
+	case pattern.KindContig:
+		return L / pattern.WordBytes, true
+	case pattern.KindStrided:
+		stride, block := int64(st.Spec().Stride()), int64(st.Spec().Block())
+		if stride < block || block < 1 {
+			// Overlapping runs revisit addresses; not monotone.
+			return 0, false
+		}
+		// One run of block words advances the address by stride words.
+		runs := L / gcd64(stride*pattern.WordBytes, L)
+		return runs * block, true
+	default:
+		return 0, false
+	}
+}
+
+// ffPlan decides whether the (loads, stores) pair is eligible for
+// fast-forward and returns the combined period in rounds, or 0.
+func (m *Memory) ffPlan(loads, stores *pattern.Stream) int {
+	if m.cfg.FastForward != FastForwardAuto || m.cfg.Policy == WriteBack {
+		return 0
+	}
+	if m.cfg.WBQEntries > ffMaxQueue || m.cfg.PFQDepth > ffMaxQueue {
+		return 0
+	}
+	L := lcm64(lcm64(int64(m.cfg.CacheBytes), int64(m.cfg.PageBytes)), 16)
+	period := int64(1)
+	words := 0
+	for _, st := range [2]*pattern.Stream{loads, stores} {
+		if st == nil {
+			continue
+		}
+		r, ok := ffEligible(st, L, m.cfg.LineBytes)
+		if !ok {
+			return 0
+		}
+		if words == 0 {
+			words = st.Words()
+		} else if st.Words() != words {
+			// Unequal lengths change the round structure mid-run.
+			return 0
+		}
+		period = lcm64(period, r)
+		if period > ffMaxPeriod {
+			return 0
+		}
+	}
+	if words < ffMinPeriods*int(period) {
+		return 0
+	}
+	// Streams must not interfere through the cache or DRAM rows in an
+	// aperiodic way: require disjoint address regions.
+	if loads != nil && stores != nil {
+		lb, le := loads.Base(), loads.Base()+loads.Footprint()
+		sb, se := stores.Base(), stores.Base()+stores.Footprint()
+		if lb < se && sb < le {
+			return 0
+		}
+	}
+	return int(period)
+}
+
+// ffLin indexes the linearly-advancing snapshot fields.
+const (
+	ffLinT = iota
+	ffLinOpenPage
+	ffLinBusy
+	ffLinRowHits
+	ffLinRowMiss
+	ffLinCacheHits
+	ffLinCacheMisses
+	ffLinCacheEvict
+	ffLinSBLine
+	ffLinLastMiss
+	ffLinWBLine
+	ffLinPFQAddr
+	ffLinLoads
+	ffLinStores
+	ffLinPayload
+	ffLinCount
+)
+
+// ffSnap is one period-boundary snapshot of the complete machine state,
+// split into fields that must be equal across boundaries, fields that
+// must be equal relative to the processor time, and fields that must
+// advance by a constant delta. It is fixed-size so snapshots allocate
+// nothing.
+type ffSnap struct {
+	sbValid bool
+	wbOpen  bool
+	wbWords int
+	wbqLen  int
+	pfqLen  int
+
+	freeRel    int64 // dram.freeAt - t
+	sbReadyRel int64 // sbReady - t, 0 unless sbValid
+	wbqRel     [ffMaxQueue + 2]int64
+	pfqRel     [ffMaxQueue + 2]int64
+
+	lin [ffLinCount]int64
+}
+
+func (m *Memory) ffSnapshot(t int64, res *Result) ffSnap {
+	var s ffSnap
+	s.sbValid = m.sbValid
+	s.wbOpen = m.wbOpen
+	s.wbWords = m.wbWords
+	s.wbqLen = m.wbq.len()
+	s.pfqLen = m.pfq.len()
+	s.freeRel = m.dram.freeAt - t
+	if m.sbValid {
+		s.sbReadyRel = m.sbReady - t
+	}
+	for i := 0; i < s.wbqLen; i++ {
+		s.wbqRel[i] = m.wbq.at(i) - t
+	}
+	for i := 0; i < s.pfqLen; i++ {
+		s.pfqRel[i] = m.pfq.at(i) - t
+	}
+	s.lin[ffLinT] = t
+	s.lin[ffLinOpenPage] = m.dram.openPage
+	s.lin[ffLinBusy] = m.dram.busy
+	s.lin[ffLinRowHits] = m.dram.rowHits
+	s.lin[ffLinRowMiss] = m.dram.rowMiss
+	s.lin[ffLinCacheHits] = m.cache.hits
+	s.lin[ffLinCacheMisses] = m.cache.misses
+	s.lin[ffLinCacheEvict] = m.cache.evictions
+	if m.sbValid {
+		s.lin[ffLinSBLine] = m.sbLine
+	}
+	s.lin[ffLinLastMiss] = m.lastMissLine
+	if m.wbOpen {
+		s.lin[ffLinWBLine] = m.wbLine
+	}
+	s.lin[ffLinPFQAddr] = m.pfqLastAddr
+	s.lin[ffLinLoads] = res.Loads
+	s.lin[ffLinStores] = res.Stores
+	s.lin[ffLinPayload] = res.PayloadBytes
+	return s
+}
+
+// ffRecurs reports whether three consecutive period-boundary snapshots
+// exhibit exact steady-state recurrence.
+func ffRecurs(s0, s1, s2 *ffSnap) bool {
+	if s0.sbValid != s1.sbValid || s1.sbValid != s2.sbValid ||
+		s0.wbOpen != s1.wbOpen || s1.wbOpen != s2.wbOpen ||
+		s0.wbWords != s1.wbWords || s1.wbWords != s2.wbWords ||
+		s0.wbqLen != s1.wbqLen || s1.wbqLen != s2.wbqLen ||
+		s0.pfqLen != s1.pfqLen || s1.pfqLen != s2.pfqLen {
+		return false
+	}
+	if s0.freeRel != s1.freeRel || s1.freeRel != s2.freeRel ||
+		s0.sbReadyRel != s1.sbReadyRel || s1.sbReadyRel != s2.sbReadyRel {
+		return false
+	}
+	for i := 0; i < s2.wbqLen; i++ {
+		if s0.wbqRel[i] != s1.wbqRel[i] || s1.wbqRel[i] != s2.wbqRel[i] {
+			return false
+		}
+	}
+	for i := 0; i < s2.pfqLen; i++ {
+		if s0.pfqRel[i] != s1.pfqRel[i] || s1.pfqRel[i] != s2.pfqRel[i] {
+			return false
+		}
+	}
+	for i := 0; i < ffLinCount; i++ {
+		if s1.lin[i]-s0.lin[i] != s2.lin[i]-s1.lin[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ffJump extrapolates n whole periods from the verified steady state
+// described by consecutive snapshots s1, s2 and returns the new
+// processor time. All machine state is advanced exactly as n more
+// simulated periods would have advanced it.
+func (m *Memory) ffJump(s1, s2 *ffSnap, n int64, loads, stores *pattern.Stream, period int, t int64, res *Result) int64 {
+	d := func(i int) int64 { return n * (s2.lin[i] - s1.lin[i]) }
+	dt := d(ffLinT)
+
+	m.dram.freeAt += dt
+	m.dram.openPage += d(ffLinOpenPage)
+	m.dram.busy += d(ffLinBusy)
+	m.dram.rowHits += d(ffLinRowHits)
+	m.dram.rowMiss += d(ffLinRowMiss)
+	m.cache.hits += d(ffLinCacheHits)
+	m.cache.misses += d(ffLinCacheMisses)
+	m.cache.evictions += d(ffLinCacheEvict)
+	if m.sbValid {
+		m.sbLine += d(ffLinSBLine)
+		m.sbReady += dt
+	}
+	m.lastMissLine += d(ffLinLastMiss)
+	if m.wbOpen {
+		m.wbLine += d(ffLinWBLine)
+	}
+	m.pfqLastAddr += d(ffLinPFQAddr)
+	m.wbq.shift(dt)
+	m.pfq.shift(dt)
+	res.Loads += d(ffLinLoads)
+	res.Stores += d(ffLinStores)
+	res.PayloadBytes += d(ffLinPayload)
+
+	skip := int(n) * period
+	if loads != nil {
+		loads.Skip(skip)
+	}
+	if stores != nil {
+		stores.Skip(skip)
+	}
+	return t + dt
+}

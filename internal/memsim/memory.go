@@ -2,9 +2,34 @@ package memsim
 
 import (
 	"fmt"
+	"math"
 
 	"ctcomm/internal/pattern"
 )
+
+// Internal time is kept in integer femtoseconds (1 ns = 1e6 fs). Every
+// per-operation cost is rounded to fs once at construction; after that
+// all accumulation is exact integer arithmetic, so simulated times are
+// shift-invariant: the cost of a steady-state period does not depend on
+// how far into the run it occurs. That property is what lets the
+// fast-forward layer extrapolate whole periods bit-exactly (see ff.go
+// and DESIGN.md §6). Results convert back to float64 nanoseconds only at
+// the Result boundary.
+const fsPerNs = 1e6
+
+func toFs(ns float64) int64 { return int64(math.Round(ns * fsPerNs)) }
+
+func toNs(fs int64) float64 { return float64(fs) / fsPerNs }
+
+// costs holds the processor-side per-operation costs in femtoseconds,
+// precomputed from the Config so the hot path performs no float math.
+type costs struct {
+	issueLoadFs  int64
+	issueStoreFs int64
+	streamHitFs  int64
+	busHalfFs    int64 // half the processor-to-controller round trip
+	pfqOpFs      int64
+}
 
 // Result summarizes one simulated access stream.
 type Result struct {
@@ -36,28 +61,44 @@ func MBps(bytes int64, ns float64) float64 {
 	return float64(bytes) * 1e3 / ns
 }
 
+// InterleavePolicy selects how RunStream schedules the two sides of a
+// transfer against each other.
+type InterleavePolicy int
+
+const (
+	// InterleaveWordwise zips the streams payload-word by payload-word,
+	// each side's overhead (index) loads immediately before the payload
+	// access they serve. This is the unrolled, optimally scheduled
+	// load/store loop of the xCy copy.
+	InterleaveWordwise InterleavePolicy = iota
+	// InterleaveLoadsFirst drains the whole load stream before the store
+	// stream (a staged copy through a register/buffer block).
+	InterleaveLoadsFirst
+)
+
 // Memory is one node's memory system simulator. It is not safe for
 // concurrent use; each simulated node owns one Memory.
 type Memory struct {
 	cfg   Config
+	cost  costs
 	cache *cache
 	dram  *dram
 
-	// Read-ahead (RDAL) stream-buffer state.
+	// Read-ahead (RDAL) stream-buffer state. Times in fs.
 	sbValid      bool
 	sbLine       int64
-	sbReadyNs    float64
+	sbReady      int64
 	lastMissLine int64
 
 	// Posted-write queue: the open (merging) entry plus completion times
 	// of closed entries still draining.
-	wbOpen     bool
-	wbLine     int64
-	wbWords    int
-	wbOutstand []float64
+	wbOpen  bool
+	wbLine  int64
+	wbWords int
+	wbq     ring
 	// Pipelined-load queue: completion times of outstanding loads, plus
 	// the last pipelined address for 128-bit (quad) load pairing.
-	pfqOutstand []float64
+	pfq         ring
 	pfqLastAddr int64
 }
 
@@ -66,7 +107,19 @@ func New(cfg Config) (*Memory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Memory{cfg: cfg, lastMissLine: -1 << 40}
+	m := &Memory{
+		cfg: cfg,
+		cost: costs{
+			issueLoadFs:  toFs(cfg.IssueLoadCy * cfg.ClockNs),
+			issueStoreFs: toFs(cfg.IssueStoreCy * cfg.ClockNs),
+			streamHitFs:  toFs(cfg.StreamHitCy * cfg.ClockNs),
+			busHalfFs:    toFs(cfg.BusOverheadNs / 2),
+			pfqOpFs:      toFs(cfg.PFQOpNs),
+		},
+		lastMissLine: -1 << 40,
+		wbq:          newRing(cfg.WBQEntries + 2),
+		pfq:          newRing(cfg.PFQDepth + 1),
+	}
 	m.cache = newCache(&m.cfg)
 	m.dram = newDRAM(&m.cfg)
 	return m, nil
@@ -89,11 +142,12 @@ func (m *Memory) Reset() {
 	m.cache = newCache(&m.cfg)
 	m.dram = newDRAM(&m.cfg)
 	m.sbValid = false
-	m.sbReadyNs = 0
+	m.sbReady = 0
 	m.lastMissLine = -1 << 40
 	m.wbOpen = false
-	m.wbOutstand = m.wbOutstand[:0]
-	m.pfqOutstand = m.pfqOutstand[:0]
+	m.wbq.clear()
+	m.pfq.clear()
+	m.pfqLastAddr = -1 << 40
 }
 
 // InvalidateAll models a synchronization point: the T3D invalidates the
@@ -103,18 +157,45 @@ func (m *Memory) InvalidateAll() { m.cache.invalidateAll() }
 // Invalidate drops one line, as the deposit engine does per remote store.
 func (m *Memory) Invalidate(addr int64) { m.cache.invalidate(addr) }
 
-// Run executes the access stream on the processor and returns timing.
-// Time starts at zero for each Run; DRAM page and cache state carry over
-// between runs so warm-up effects can be studied explicitly.
-func (m *Memory) Run(accesses []pattern.Access) Result {
-	var res Result
-	t := 0.0
-	m.dram.freeAt = 0 // time is per-run; state (open page) carries over
-	startRowHits, startRowMiss := m.dram.rowHits, m.dram.rowMiss
-	startHits, startMiss := m.cache.hits, m.cache.misses
-	m.wbOutstand = m.wbOutstand[:0]
-	m.pfqOutstand = m.pfqOutstand[:0]
+// runBase snapshots the cumulative counters at the start of a run so the
+// Result can report per-run deltas.
+type runBase struct {
+	rowHits, rowMiss int64
+	hits, misses     int64
+}
 
+func (m *Memory) beginRun() runBase {
+	m.dram.freeAt = 0 // time is per-run; state (open page) carries over
+	m.wbq.clear()
+	m.pfq.clear()
+	return runBase{
+		rowHits: m.dram.rowHits, rowMiss: m.dram.rowMiss,
+		hits: m.cache.hits, misses: m.cache.misses,
+	}
+}
+
+func (m *Memory) endRun(t int64, base runBase, res *Result) Result {
+	t = m.flush(t)
+	res.ElapsedNs = toNs(t)
+	res.DRAMBusyNs = toNs(m.dram.busy)
+	res.CacheHits = m.cache.hits - base.hits
+	res.CacheMisses = m.cache.misses - base.misses
+	res.RowHits = m.dram.rowHits - base.rowHits
+	res.RowMisses = m.dram.rowMiss - base.rowMiss
+	m.dram.busy = 0
+	m.cfg.Stats.RecordAccesses(res.Loads+res.Stores, res.ElapsedNs)
+	return *res
+}
+
+// Run executes a materialized access stream on the processor and returns
+// timing. Time starts at zero for each Run; DRAM page and cache state
+// carry over between runs so warm-up effects can be studied explicitly.
+// Run is the slice-based adapter over the same engine RunStream drives;
+// the streaming API is the hot path.
+func (m *Memory) Run(accesses []pattern.Access) Result {
+	base := m.beginRun()
+	var res Result
+	var t int64
 	for _, a := range accesses {
 		if a.Write {
 			t = m.store(t, a.Addr)
@@ -127,23 +208,113 @@ func (m *Memory) Run(accesses []pattern.Access) Result {
 			res.PayloadBytes += pattern.WordBytes
 		}
 	}
-	t = m.flush(t)
+	return m.endRun(t, base, &res)
+}
 
-	res.ElapsedNs = t
-	res.DRAMBusyNs = m.dram.busy
-	res.CacheHits = m.cache.hits - startHits
-	res.CacheMisses = m.cache.misses - startMiss
-	res.RowHits = m.dram.rowHits - startRowHits
-	res.RowMisses = m.dram.rowMiss - startRowMiss
-	m.dram.busy = 0
-	m.cfg.Stats.RecordAccesses(res.Loads+res.Stores, res.ElapsedNs)
-	return res
+// RunStream executes a transfer by pulling addresses from the given
+// streams (either may be nil for a single-sided transfer) without
+// materializing them. The loads stream is issued as processor loads, the
+// stores stream as processor stores; overhead accesses of either stream
+// are always loads (index-array reads). The result is identical to
+// running the equivalent interleaved []pattern.Access slice through Run.
+//
+// For periodic patterns RunStream additionally detects steady-state
+// recurrence and fast-forwards whole periods analytically (see ff.go);
+// Config.FastForward gates this. Both paths produce bit-identical
+// Results.
+func (m *Memory) RunStream(loads, stores *pattern.Stream, policy InterleavePolicy) Result {
+	if loads != nil {
+		loads.Reset()
+	}
+	if stores != nil {
+		stores.Reset()
+	}
+	base := m.beginRun()
+	var res Result
+	var t int64
+	if policy == InterleaveLoadsFirst {
+		t = m.runStreams(loads, nil, t, &res)
+		t = m.runStreams(nil, stores, t, &res)
+	} else {
+		t = m.runStreams(loads, stores, t, &res)
+	}
+	return m.endRun(t, base, &res)
+}
+
+// consume advances one stream by one payload word (plus any overhead
+// loads preceding it) and reports whether the stream yielded anything.
+func (m *Memory) consume(st *pattern.Stream, write bool, t int64, res *Result) (int64, bool) {
+	for {
+		a, ok := st.Next()
+		if !ok {
+			return t, false
+		}
+		if a.Overhead {
+			t = m.load(t, a.Addr)
+			res.Loads++
+			continue
+		}
+		if write {
+			t = m.store(t, a.Addr)
+			res.Stores++
+		} else {
+			t = m.load(t, a.Addr)
+			res.Loads++
+		}
+		res.PayloadBytes += pattern.WordBytes
+		return t, true
+	}
+}
+
+// runStreams zips the two streams round by round (one payload word per
+// side per round), fast-forwarding steady-state periods when eligible.
+func (m *Memory) runStreams(loads, stores *pattern.Stream, t int64, res *Result) int64 {
+	period := m.ffPlan(loads, stores)
+	total := 0
+	if loads != nil {
+		total = loads.Words()
+	}
+	if stores != nil && stores.Words() > total {
+		total = stores.Words()
+	}
+	var snaps [3]ffSnap
+	nsnap := 0
+	round := 0
+	probing := period > 0
+	for {
+		okL, okS := false, false
+		if loads != nil {
+			t, okL = m.consume(loads, false, t, res)
+		}
+		if stores != nil {
+			t, okS = m.consume(stores, true, t, res)
+		}
+		if !okL && !okS {
+			break
+		}
+		round++
+		if probing && round%period == 0 && round < total {
+			snaps[0], snaps[1] = snaps[1], snaps[2]
+			snaps[2] = m.ffSnapshot(t, res)
+			nsnap++
+			if nsnap >= 3 && ffRecurs(&snaps[0], &snaps[1], &snaps[2]) {
+				if n := int64(total-round) / int64(period); n > 0 {
+					t = m.ffJump(&snaps[1], &snaps[2], n, loads, stores, period, t, res)
+					round += int(n) * period
+				}
+				probing = false
+			} else if nsnap >= ffMaxProbe {
+				probing = false
+			}
+		}
+	}
+	return t
 }
 
 // load processes one word load at processor time t and returns the new
 // processor time.
-func (m *Memory) load(t float64, addr int64) float64 {
-	t += m.cfg.IssueLoadCy * m.cfg.ClockNs
+func (m *Memory) load(t int64, addr int64) int64 {
+	t += m.cost.issueLoadFs
 	if m.cache.access(addr) {
 		return t
 	}
@@ -152,14 +323,14 @@ func (m *Memory) load(t float64, addr int64) float64 {
 	// Stream-buffer (RDAL) hit: the line was prefetched; consume it and
 	// keep the prefetcher one line ahead.
 	if m.cfg.ReadAhead && m.sbValid && line == m.sbLine {
-		if m.sbReadyNs > t {
-			t = m.sbReadyNs
+		if m.sbReady > t {
+			t = m.sbReady
 		}
-		t += m.cfg.StreamHitCy * m.cfg.ClockNs
+		t += m.cost.streamHitFs
 		m.cache.fill(addr)
 		next := (line + 1) * int64(m.cfg.LineBytes)
 		m.sbLine = line + 1
-		m.sbReadyNs = m.dram.claim(t, next, m.cfg.LineWords())
+		m.sbReady = m.dram.claim(t, next, m.cfg.LineWords())
 		m.lastMissLine = line
 		return t
 	}
@@ -174,20 +345,19 @@ func (m *Memory) load(t float64, addr int64) float64 {
 	// this is what makes dense block-strided runs cheaper than
 	// single-word strides.
 	if m.cfg.PFQDepth > 0 && !seq {
-		if addr>>4 == m.pfqLastAddr>>4 && len(m.pfqOutstand) > 0 {
+		if addr>>4 == m.pfqLastAddr>>4 && m.pfq.len() > 0 {
 			return t
 		}
 		m.pfqLastAddr = addr
-		if len(m.pfqOutstand) >= m.cfg.PFQDepth {
-			if m.pfqOutstand[0] > t {
-				t = m.pfqOutstand[0]
+		if m.pfq.len() >= m.cfg.PFQDepth {
+			if d := m.pfq.pop(); d > t {
+				t = d
 			}
-			m.pfqOutstand = m.pfqOutstand[1:]
 		}
-		done := m.dram.claim(t, addr, 2) + m.cfg.PFQOpNs
+		done := m.dram.claim(t, addr, 2) + m.cost.pfqOpFs
 		m.dram.freeAt = done
-		m.dram.busy += m.cfg.PFQOpNs
-		m.pfqOutstand = append(m.pfqOutstand, done)
+		m.dram.busy += m.cost.pfqOpFs
+		m.pfq.push(done)
 		return t
 	}
 
@@ -195,12 +365,12 @@ func (m *Memory) load(t float64, addr int64) float64 {
 	// fill restarts the processor as soon as the first word arrives
 	// while the line keeps streaming; otherwise (and for non-sequential
 	// fills) the processor waits for the whole line.
-	claimAt := t + m.cfg.BusOverheadNs/2
+	claimAt := t + m.cost.busHalfFs
 	dataAt, done := m.dram.claimCW(claimAt, addr, m.cfg.LineWords())
 	if seq && m.cfg.CriticalWordFirst {
-		t = dataAt + m.cfg.BusOverheadNs/2
+		t = dataAt + m.cost.busHalfFs
 	} else {
-		t = done + m.cfg.BusOverheadNs/2
+		t = done + m.cost.busHalfFs
 	}
 	if victim, wasDirty := m.cache.fill(addr); wasDirty {
 		// Write-back policy: the dirty victim drains to memory in the
@@ -213,14 +383,14 @@ func (m *Memory) load(t float64, addr int64) float64 {
 		next := (line + 1) * int64(m.cfg.LineBytes)
 		m.sbValid = true
 		m.sbLine = line + 1
-		m.sbReadyNs = m.dram.claim(t, next, m.cfg.LineWords())
+		m.sbReady = m.dram.claim(t, next, m.cfg.LineWords())
 	}
 	return t
 }
 
 // store processes one word store at processor time t.
-func (m *Memory) store(t float64, addr int64) float64 {
-	t += m.cfg.IssueStoreCy * m.cfg.ClockNs
+func (m *Memory) store(t int64, addr int64) int64 {
+	t += m.cost.issueStoreFs
 	switch m.cfg.Policy {
 	case WriteThrough:
 		// Update the cached copy if present; no extra time.
@@ -234,9 +404,9 @@ func (m *Memory) store(t float64, addr int64) float64 {
 		}
 		// Miss: write-allocate. Fetch the line (blocking, like a load
 		// miss), write back any dirty victim, then dirty the new line.
-		claimAt := t + m.cfg.BusOverheadNs/2
+		claimAt := t + m.cost.busHalfFs
 		_, done := m.dram.claimCW(claimAt, addr, m.cfg.LineWords())
-		t = done + m.cfg.BusOverheadNs/2
+		t = done + m.cost.busHalfFs
 		if victim, wasDirty := m.cache.fill(addr); wasDirty {
 			m.dram.claimPosted(t, victim*int64(m.cfg.LineBytes), m.cfg.LineWords())
 		}
@@ -249,8 +419,8 @@ func (m *Memory) store(t float64, addr int64) float64 {
 
 	if m.cfg.WBQEntries == 0 {
 		// Blocking store: pays the bus round trip like a blocking load.
-		done := m.dram.claim(t+m.cfg.BusOverheadNs/2, addr, 1)
-		t = done + m.cfg.BusOverheadNs/2
+		done := m.dram.claim(t+m.cost.busHalfFs, addr, 1)
+		t = done + m.cost.busHalfFs
 		return t
 	}
 
@@ -266,11 +436,10 @@ func (m *Memory) store(t float64, addr int64) float64 {
 		t = m.closeWB(t)
 	}
 	// Wait for a free queue slot (oldest drain to finish) if needed.
-	for len(m.wbOutstand) >= m.cfg.WBQEntries {
-		if m.wbOutstand[0] > t {
-			t = m.wbOutstand[0]
+	for m.wbq.len() >= m.cfg.WBQEntries {
+		if d := m.wbq.pop(); d > t {
+			t = d
 		}
-		m.wbOutstand = m.wbOutstand[1:]
 	}
 	m.wbOpen = true
 	m.wbLine = line
@@ -279,31 +448,29 @@ func (m *Memory) store(t float64, addr int64) float64 {
 }
 
 // closeWB drains the open write entry to DRAM and records its completion.
-func (m *Memory) closeWB(t float64) float64 {
+func (m *Memory) closeWB(t int64) int64 {
 	done := m.dram.claimPosted(t, m.wbLine*int64(m.cfg.LineBytes), m.wbWords)
-	m.wbOutstand = append(m.wbOutstand, done)
+	m.wbq.push(done)
 	m.wbOpen = false
 	m.wbWords = 0
 	return t
 }
 
 // flush completes all posted writes and outstanding pipelined loads.
-func (m *Memory) flush(t float64) float64 {
+func (m *Memory) flush(t int64) int64 {
 	if m.wbOpen {
 		t = m.closeWB(t)
 	}
-	for _, d := range m.wbOutstand {
-		if d > t {
+	for m.wbq.len() > 0 {
+		if d := m.wbq.pop(); d > t {
 			t = d
 		}
 	}
-	m.wbOutstand = m.wbOutstand[:0]
-	for _, d := range m.pfqOutstand {
-		if d > t {
+	for m.pfq.len() > 0 {
+		if d := m.pfq.pop(); d > t {
 			t = d
 		}
 	}
-	m.pfqOutstand = m.pfqOutstand[:0]
 	m.pfqLastAddr = -1 << 40
 	m.sbValid = false
 	return t

@@ -449,3 +449,62 @@ func TestCircuitNeverBeatsChunkedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSendStreamMatchesBatch proves the analytic single-flow fast path
+// is indistinguishable from the chunk-level event simulation: delivery
+// times, recorded statistics, and per-resource accounting must all be
+// identical, including across repeated sends on a warm network.
+func TestSendStreamMatchesBatch(t *testing.T) {
+	topo, _ := NewTorus3D(4, 4, 4)
+	payloads := []int64{0, 1, 100, 511, 512, 513, 4096, 1 << 20}
+	for _, mode := range []Mode{DataOnly, AddrData} {
+		var sa, sb sim.Stats
+		cfgA, cfgB := testNetConfig(), testNetConfig()
+		cfgA.Stats, cfgB.Stats = &sa, &sb
+		fast := MustNewNetwork(topo, cfgA)
+		ref := MustNewNetwork(topo, cfgB)
+		at := sim.Time(0)
+		for i, p := range payloads {
+			src, dst := (i*7)%topo.Nodes(), (i*13+5)%topo.Nodes()
+			got := fast.SendStream(at, src, dst, p, mode)
+			want, _ := ref.Batch(at, []Flow{{Src: src, Dst: dst, Bytes: p}}, mode)
+			if got != want[0] {
+				t.Fatalf("mode %v payload %d: SendStream %v != Batch %v", mode, p, got, want[0])
+			}
+			if sa.Events() != sb.Events() || sa.SimTime() != sb.SimTime() {
+				t.Fatalf("mode %v payload %d: stats diverge: events %d/%d simNs %v/%v",
+					mode, p, sa.Events(), sb.Events(), sa.SimTime(), sb.SimTime())
+			}
+			at = got // warm: next send starts when this one delivered
+		}
+		for id, r := range ref.links {
+			f := fast.link(id)
+			if f.FreeAt() != r.FreeAt() || f.Busy() != r.Busy() || f.Claims() != r.Claims() ||
+				f.Utilization() != r.Utilization() {
+				t.Errorf("mode %v link %d: fast {%v %v %d} != ref {%v %v %d}",
+					mode, id, f.FreeAt(), f.Busy(), f.Claims(), r.FreeAt(), r.Busy(), r.Claims())
+			}
+		}
+	}
+}
+
+// TestSendStreamFallsBackOnBusyPath overlaps two sends so the second
+// finds a busy injection port; the fast path must defer to Batch and
+// still match a pure-Batch network exactly.
+func TestSendStreamFallsBackOnBusyPath(t *testing.T) {
+	topo, _ := NewTorus3D(2, 2, 2)
+	fast := MustNewNetwork(topo, testNetConfig())
+	ref := MustNewNetwork(topo, testNetConfig())
+
+	d1 := fast.SendStream(0, 0, 1, 1<<16, DataOnly)
+	d2 := fast.SendStream(d1/2, 0, 3, 1<<16, DataOnly) // overlaps on inj0
+
+	r1, _ := ref.Batch(0, []Flow{{Src: 0, Dst: 1, Bytes: 1 << 16}}, DataOnly)
+	r2, _ := ref.Batch(r1[0]/2, []Flow{{Src: 0, Dst: 3, Bytes: 1 << 16}}, DataOnly)
+	if d1 != r1[0] || d2 != r2[0] {
+		t.Fatalf("busy-path sends diverge: %v/%v vs %v/%v", d1, d2, r1[0], r2[0])
+	}
+	if d2 <= d1 {
+		t.Fatalf("second send should be delayed by the busy port: %v <= %v", d2, d1)
+	}
+}

@@ -14,13 +14,21 @@ type Access struct {
 }
 
 // Stream generates the concrete address sequence for one side (read or
-// write) of a transfer. Streams are finite and deterministic.
+// write) of a transfer. Streams are finite and deterministic, and they
+// generate accesses on demand: simulators pull from them with Next or
+// NextAddr instead of materializing []Access slices, which keeps the
+// simulation hot path allocation-free.
 type Stream struct {
-	spec  Spec
-	base  int64
-	words int
-	index []int64 // word offsets, only for indexed streams
-	pos   int
+	spec       Spec
+	base       int64
+	words      int
+	index      []int64 // word offsets, only for indexed streams
+	write      bool    // payload accesses are stores
+	noOverhead bool    // suppress index-array overhead loads
+	pos        int     // payload words consumed
+	// overheadDone records that the index-overhead load preceding the
+	// current payload word has already been emitted.
+	overheadDone bool
 }
 
 // NewStream builds the address stream for spec starting at byte address
@@ -40,42 +48,122 @@ func (st *Stream) WithIndex(index []int64) *Stream {
 	return st
 }
 
+// ForWrites marks the stream's payload accesses as stores (overhead index
+// loads remain loads). It returns the stream for chaining.
+func (st *Stream) ForWrites() *Stream {
+	st.write = true
+	return st
+}
+
+// NoIndexOverhead suppresses the index-array overhead loads of an indexed
+// stream. Receive-side streams use this: the scatter addresses arrive
+// with the data, so the processor never reads an index array. It returns
+// the stream for chaining.
+func (st *Stream) NoIndexOverhead() *Stream {
+	st.noOverhead = true
+	return st
+}
+
 // Spec returns the symbolic pattern of the stream.
 func (st *Stream) Spec() Spec { return st.spec }
+
+// Base returns the starting byte address of the stream.
+func (st *Stream) Base() int64 { return st.base }
 
 // Words returns the number of payload words in the stream.
 func (st *Stream) Words() int { return st.words }
 
-// Reset rewinds the stream to its first access.
-func (st *Stream) Reset() { st.pos = 0 }
+// Remaining returns the number of payload words not yet consumed.
+func (st *Stream) Remaining() int { return st.words - st.pos }
 
-// Next returns the byte address of the next payload word, or ok=false
-// when the stream is exhausted. Fixed streams repeatedly return the base
-// (port) address.
-func (st *Stream) Next() (addr int64, ok bool) {
-	if st.pos >= st.words {
-		return 0, false
+// Reset rewinds the stream to its first access.
+func (st *Stream) Reset() {
+	st.pos = 0
+	st.overheadDone = false
+}
+
+// Skip advances the stream by n payload words without generating their
+// accesses (the fast-forward machinery extrapolates their effect).
+func (st *Stream) Skip(n int) {
+	st.pos += n
+	if st.pos > st.words {
+		st.pos = st.words
 	}
-	i := st.pos
-	st.pos++
+	st.overheadDone = false
+}
+
+// addr returns the byte address of payload word i.
+func (st *Stream) addr(i int) int64 {
 	switch st.spec.kind {
 	case KindFixed:
-		return st.base, true
+		return st.base
 	case KindContig:
-		return st.base + int64(i)*WordBytes, true
+		return st.base + int64(i)*WordBytes
 	case KindStrided:
 		b := st.spec.Block()
 		run := int64(i / b)
 		within := int64(i % b)
-		return st.base + (run*int64(st.spec.stride)+within)*WordBytes, true
+		return st.base + (run*int64(st.spec.stride)+within)*WordBytes
 	case KindIndexed:
-		if st.index == nil {
-			panic("pattern: indexed stream without index array")
-		}
-		return st.base + st.index[i]*WordBytes, true
+		return st.base + st.index[i]*WordBytes
 	default:
 		panic(fmt.Sprintf("pattern: unknown kind %v", st.spec.kind))
 	}
+}
+
+// Peek returns the next access without consuming it. For indexed streams
+// the overhead loads of the index array are interleaved directly: each
+// even payload word is preceded by one index-word load (32-bit entries,
+// two per 64-bit word), unless NoIndexOverhead was set.
+func (st *Stream) Peek() (Access, bool) {
+	if st.pos >= st.words {
+		return Access{}, false
+	}
+	if st.spec.kind == KindIndexed && st.index == nil {
+		panic("pattern: indexed stream without index array")
+	}
+	if st.overheadPending() {
+		return Access{Addr: IndexBase + int64(st.pos/2)*WordBytes, Overhead: true}, true
+	}
+	return Access{Addr: st.addr(st.pos), Write: st.write}, true
+}
+
+// Next returns the next access of the stream, or ok=false when the
+// stream is exhausted. See Peek for the overhead-interleaving contract.
+func (st *Stream) Next() (Access, bool) {
+	a, ok := st.Peek()
+	if !ok {
+		return a, false
+	}
+	if a.Overhead {
+		st.overheadDone = true
+	} else {
+		st.pos++
+		st.overheadDone = false
+	}
+	return a, true
+}
+
+func (st *Stream) overheadPending() bool {
+	return st.spec.kind == KindIndexed && !st.noOverhead && st.pos%2 == 0 && !st.overheadDone
+}
+
+// NextAddr returns the byte address of the next payload word, skipping
+// overhead interleaving entirely, or ok=false when the stream is
+// exhausted. Engines use this: they receive address-data pairs, so no
+// index overhead loads occur. Fixed streams repeatedly return the base
+// (port) address.
+func (st *Stream) NextAddr() (addr int64, ok bool) {
+	if st.pos >= st.words {
+		return 0, false
+	}
+	if st.spec.kind == KindIndexed && st.index == nil {
+		panic("pattern: indexed stream without index array")
+	}
+	a := st.addr(st.pos)
+	st.pos++
+	st.overheadDone = false
+	return a, true
 }
 
 // Addresses materializes the whole stream as a slice of byte addresses.
@@ -83,7 +171,7 @@ func (st *Stream) Addresses() []int64 {
 	out := make([]int64, 0, st.words)
 	st.Reset()
 	for {
-		a, ok := st.Next()
+		a, ok := st.NextAddr()
 		if !ok {
 			break
 		}
@@ -94,21 +182,33 @@ func (st *Stream) Addresses() []int64 {
 }
 
 // Footprint returns the extent in bytes from the lowest to one past the
-// highest referenced word, or 0 for empty and fixed streams.
+// highest referenced word, or 0 for empty and fixed streams. It is
+// computed in closed form for regular patterns and without materializing
+// the stream for indexed ones.
 func (st *Stream) Footprint() int64 {
 	if st.words == 0 || st.spec.kind == KindFixed {
 		return 0
 	}
-	lo, hi := int64(1<<62), int64(-1<<62)
-	for _, a := range st.Addresses() {
-		if a < lo {
-			lo = a
+	switch st.spec.kind {
+	case KindContig, KindStrided:
+		// Regular streams are monotone: first access is the minimum,
+		// last access the maximum.
+		return st.addr(st.words-1) - st.base + WordBytes
+	default:
+		if st.index == nil {
+			panic("pattern: indexed stream without index array")
 		}
-		if a > hi {
-			hi = a
+		lo, hi := int64(1<<62), int64(-1<<62)
+		for _, off := range st.index[:st.words] {
+			if off < lo {
+				lo = off
+			}
+			if off > hi {
+				hi = off
+			}
 		}
+		return (hi - lo + 1) * WordBytes
 	}
-	return hi - lo + WordBytes
 }
 
 // IndexBase is the byte address at which generated index arrays are
@@ -117,32 +217,22 @@ func (st *Stream) Footprint() int64 {
 const IndexBase = 1 << 40
 
 // Accesses expands the stream into explicit word accesses, interleaving
-// the overhead loads of the index array for indexed streams: each payload
-// word of an indexed stream is preceded by a contiguous (32-bit packed,
-// charged at word granularity every other element) index load.
+// the overhead loads of the index array for indexed streams exactly as
+// Next emits them. It is retained for tests and trace tooling; the
+// simulation hot path consumes streams directly.
 func (st *Stream) Accesses(write bool) []Access {
 	out := make([]Access, 0, st.words*2)
+	saved := st.write
+	st.write = write
 	st.Reset()
-	i := 0
 	for {
 		a, ok := st.Next()
 		if !ok {
 			break
 		}
-		if st.spec.kind == KindIndexed {
-			// Index entries are 32-bit; two fit one 64-bit word, so an
-			// index word load is charged for every other element.
-			if i%2 == 0 {
-				out = append(out, Access{
-					Addr:     IndexBase + int64(i/2)*WordBytes,
-					Write:    false,
-					Overhead: true,
-				})
-			}
-		}
-		out = append(out, Access{Addr: a, Write: write})
-		i++
+		out = append(out, a)
 	}
+	st.write = saved
 	st.Reset()
 	return out
 }

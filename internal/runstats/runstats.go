@@ -28,6 +28,13 @@ type Run struct {
 	Events int64 `json:"events"`
 	// MemAccesses counts word accesses simulated by the memory system.
 	MemAccesses int64 `json:"mem_accesses"`
+	// AllocBytes and AllocObjects are the heap allocation deltas
+	// (runtime.MemStats TotalAlloc/Mallocs) observed across the
+	// experiment. They come from the process-global counters, so — like
+	// WallMs — they are exact for serial runs and approximate when
+	// experiments execute concurrently.
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
 	// ChecksTotal and ChecksFailed tally the experiment's shape checks.
 	ChecksTotal  int  `json:"checks_total"`
 	ChecksFailed int  `json:"checks_failed"`
@@ -41,6 +48,8 @@ type Totals struct {
 	SimMs        float64 `json:"sim_ms"`
 	Events       int64   `json:"events"`
 	MemAccesses  int64   `json:"mem_accesses"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	AllocObjects uint64  `json:"alloc_objects"`
 	ChecksTotal  int     `json:"checks_total"`
 	ChecksFailed int     `json:"checks_failed"`
 	Failed       int     `json:"experiments_failed"`
@@ -53,8 +62,12 @@ type Summary struct {
 	// WallMs is the wall time of the whole batch (not the sum of the
 	// per-run wall times, which overlap under the parallel runner).
 	WallMs float64 `json:"wall_ms"`
-	Runs   []Run   `json:"runs"`
-	Totals Totals  `json:"totals"`
+	// CalibrationHits/Misses report the process-wide calibration cache:
+	// misses are real rate-table measurements, hits reuse a cached table.
+	CalibrationHits   int64  `json:"calibration_hits"`
+	CalibrationMisses int64  `json:"calibration_misses"`
+	Runs              []Run  `json:"runs"`
+	Totals            Totals `json:"totals"`
 }
 
 // NewSummary returns an empty summary for a batch run with the given
@@ -69,6 +82,8 @@ func (s *Summary) Add(r Run) {
 	s.Totals.SimMs += r.SimMs
 	s.Totals.Events += r.Events
 	s.Totals.MemAccesses += r.MemAccesses
+	s.Totals.AllocBytes += r.AllocBytes
+	s.Totals.AllocObjects += r.AllocObjects
 	s.Totals.ChecksTotal += r.ChecksTotal
 	s.Totals.ChecksFailed += r.ChecksFailed
 	if !r.Pass {
@@ -87,7 +102,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 func (s *Summary) Render(w io.Writer) error {
 	t := &table.Table{
 		Title:  fmt.Sprintf("Run metrics (%d experiment(s), %d worker(s))", len(s.Runs), s.Workers),
-		Header: []string{"experiment", "wall ms", "sim ms", "events", "mem accesses", "checks", "result"},
+		Header: []string{"experiment", "wall ms", "sim ms", "events", "mem accesses", "alloc KB", "checks", "result"},
 	}
 	for _, r := range s.Runs {
 		result := "pass"
@@ -102,6 +117,7 @@ func (s *Summary) Render(w io.Writer) error {
 			fmt.Sprintf("%.1f", r.SimMs),
 			fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%d", r.MemAccesses),
+			fmt.Sprintf("%.0f", float64(r.AllocBytes)/1024),
 			fmt.Sprintf("%d/%d", r.ChecksTotal-r.ChecksFailed, r.ChecksTotal),
 			result)
 	}
@@ -110,7 +126,13 @@ func (s *Summary) Render(w io.Writer) error {
 		fmt.Sprintf("%.1f", s.Totals.SimMs),
 		fmt.Sprintf("%d", s.Totals.Events),
 		fmt.Sprintf("%d", s.Totals.MemAccesses),
+		fmt.Sprintf("%.0f", float64(s.Totals.AllocBytes)/1024),
 		fmt.Sprintf("%d/%d", s.Totals.ChecksTotal-s.Totals.ChecksFailed, s.Totals.ChecksTotal),
 		fmt.Sprintf("%d failed", s.Totals.Failed))
+	if lookups := s.CalibrationHits + s.CalibrationMisses; lookups > 0 {
+		t.AddNote("calibration cache: %d/%d hits (%.0f%%), %d measurement(s); total allocations %.1f MB / %d objects",
+			s.CalibrationHits, lookups, 100*float64(s.CalibrationHits)/float64(lookups),
+			s.CalibrationMisses, float64(s.Totals.AllocBytes)/(1024*1024), s.Totals.AllocObjects)
+	}
 	return t.Render(w)
 }

@@ -50,6 +50,27 @@ func (r *Resource) Claim(at Time, dur Time) (start, end Time) {
 	return start, end
 }
 
+// ClaimBulk accounts n back-to-back claims whose aggregate effect an
+// analytic fast path has already determined: the first claim starts at
+// start, the last ends at end, and the claims occupy the resource for
+// busy time in total. State afterwards is identical to issuing the n
+// claims individually.
+func (r *Resource) ClaimBulk(n int64, start, end, busy Time) {
+	if n <= 0 {
+		return
+	}
+	r.freeAt = end
+	r.busy += busy
+	r.claims += n
+	if !r.everUsed {
+		r.firstUse = start
+		r.everUsed = true
+	}
+	if end > r.lastUse {
+		r.lastUse = end
+	}
+}
+
 // FreeAt returns the time at which the resource next becomes idle.
 func (r *Resource) FreeAt() Time { return r.freeAt }
 

@@ -55,43 +55,18 @@ func streams(read, write pattern.Spec, words int) (r, w *pattern.Stream) {
 	return r, w
 }
 
-// interleave zips the read and write access lists payload-word by
-// payload-word, keeping each side's overhead (index) loads immediately
-// before the payload access they serve. This is the unrolled, optimally
-// scheduled load/store loop of the xCy copy.
-func interleave(reads, writes []pattern.Access) []pattern.Access {
-	out := make([]pattern.Access, 0, len(reads)+len(writes))
-	i, j := 0, 0
-	for i < len(reads) || j < len(writes) {
-		for i < len(reads) && reads[i].Overhead {
-			out = append(out, reads[i])
-			i++
-		}
-		if i < len(reads) {
-			out = append(out, reads[i])
-			i++
-		}
-		for j < len(writes) && writes[j].Overhead {
-			out = append(out, writes[j])
-			j++
-		}
-		if j < len(writes) {
-			out = append(out, writes[j])
-			j++
-		}
-	}
-	return out
-}
-
 // Copy simulates the local memory-to-memory copy xCy of words payload
 // words on the node. Both patterns must reference memory (not a port).
+// The read and write streams are zipped payload-word by payload-word
+// with each side's overhead (index) loads immediately before the payload
+// access they serve — the unrolled, optimally scheduled load/store loop
+// of the xCy copy (memsim.InterleaveWordwise).
 func Copy(n *machine.Node, read, write pattern.Spec, words int) (Result, error) {
 	if !read.IsMemory() || !write.IsMemory() {
 		return Result{}, fmt.Errorf("xfer: Copy requires memory patterns, got %v -> %v", read, write)
 	}
 	rs, ws := streams(read, write, words)
-	acc := interleave(rs.Accesses(false), ws.Accesses(true))
-	res := n.Mem.Run(acc)
+	res := n.Mem.RunStream(rs, ws.ForWrites(), memsim.InterleaveWordwise)
 	return Result{
 		PayloadBytes: int64(words) * pattern.WordBytes,
 		ElapsedNs:    res.ElapsedNs,
@@ -109,7 +84,7 @@ func LoadSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
 		return Result{}, fmt.Errorf("xfer: LoadSend requires a memory read pattern, got %v", read)
 	}
 	rs, _ := streams(read, pattern.Contig(), words)
-	res := n.Mem.Run(rs.Accesses(false))
+	res := n.Mem.RunStream(rs, nil, memsim.InterleaveWordwise)
 	elapsed := res.ElapsedNs + float64(words)*n.M.NI.PortStoreNs
 	payload := int64(words) * pattern.WordBytes
 	if lim := float64(payload) * 1e3 / n.M.NI.InjectMBps; elapsed < lim {
@@ -158,15 +133,8 @@ func RecvStore(n *machine.Node, write pattern.Spec, words int) (Result, error) {
 		return Result{}, fmt.Errorf("xfer: RecvStore requires a memory write pattern, got %v", write)
 	}
 	_, ws := streams(pattern.Contig(), write, words)
-	acc := ws.Accesses(true)
-	// Strip overhead entries: the scatter addresses come off the wire.
-	kept := acc[:0]
-	for _, a := range acc {
-		if !a.Overhead {
-			kept = append(kept, a)
-		}
-	}
-	res := n.Mem.Run(kept)
+	// No overhead loads: the scatter addresses come off the wire.
+	res := n.Mem.RunStream(nil, ws.ForWrites().NoIndexOverhead(), memsim.InterleaveWordwise)
 	elapsed := res.ElapsedNs + float64(words)*n.M.NI.PortLoadNs
 	payload := int64(words) * pattern.WordBytes
 	if lim := float64(payload) * 1e3 / n.M.NI.EjectMBps; elapsed < lim {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ctcomm/internal/machine"
+	"ctcomm/internal/memsim"
 	"ctcomm/internal/pattern"
 )
 
@@ -177,24 +178,105 @@ func TestResultMBps(t *testing.T) {
 	}
 }
 
-func TestInterleaveKeepsOrderAndOverhead(t *testing.T) {
-	reads := pattern.NewStream(pattern.Indexed(), 0, 8).
-		WithIndex(pattern.Permutation(8, 1)).Accesses(false)
-	writes := pattern.NewStream(pattern.Contig(), 1<<20, 8).Accesses(true)
-	acc := interleave(reads, writes)
-	if len(acc) != len(reads)+len(writes) {
-		t.Fatalf("interleave lost accesses: %d != %d", len(acc), len(reads)+len(writes))
-	}
-	// Payload accesses must alternate read, write after any overhead.
-	payload := acc[:0:0]
-	for _, a := range acc {
-		if !a.Overhead {
-			payload = append(payload, a)
+// referenceInterleave is the zip the deleted slice path used to build:
+// payload words alternate read, write, each preceded by its own side's
+// overhead loads. RunStream must schedule identically.
+func referenceInterleave(reads, writes []pattern.Access) []pattern.Access {
+	out := make([]pattern.Access, 0, len(reads)+len(writes))
+	i, j := 0, 0
+	for i < len(reads) || j < len(writes) {
+		for i < len(reads) && reads[i].Overhead {
+			out = append(out, reads[i])
+			i++
+		}
+		if i < len(reads) {
+			out = append(out, reads[i])
+			i++
+		}
+		for j < len(writes) && writes[j].Overhead {
+			out = append(out, writes[j])
+			j++
+		}
+		if j < len(writes) {
+			out = append(out, writes[j])
+			j++
 		}
 	}
-	for i, a := range payload {
-		if a.Write != (i%2 == 1) {
-			t.Fatalf("payload access %d: write=%v, want alternating", i, a.Write)
+	return out
+}
+
+func TestCopyMatchesSlicePath(t *testing.T) {
+	// The streaming copy must be bit-identical to interleaving
+	// materialized access slices and running them through memsim.Run.
+	specs := []pattern.Spec{
+		pattern.Contig(), pattern.Strided(64), pattern.StridedBlock(64, 2), pattern.Indexed(),
+	}
+	for _, m := range machine.Profiles() {
+		for _, read := range specs {
+			for _, write := range specs {
+				words := 1 << 10
+				rs, ws := streams(read, write, words)
+				ref := m.NewNode(0).Mem.Run(referenceInterleave(rs.Accesses(false), ws.Accesses(true)))
+				got := m.NewNode(0).Mem.RunStream(rs, ws.ForWrites(), memsim.InterleaveWordwise)
+				if got != ref {
+					t.Errorf("%s %vC%v: RunStream %+v != Run %+v", m.Name, read, write, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestFastForwardDifferentialMachines runs the experiment suite's
+// transfer shapes (tab1/tab2/tab3 patterns and the fig4 stride sweep) on
+// the real machine profiles with fast-forward on vs. off and requires
+// bit-identical results — the whole-machine form of the exactness
+// convention (DESIGN.md §6).
+func TestFastForwardDifferentialMachines(t *testing.T) {
+	words := 1 << 14
+	run := func(m *machine.Machine, f func(n *machine.Node) (Result, error)) Result {
+		n := m.NewNode(0)
+		res, err := f(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, mk := range []func() *machine.Machine{machine.T3D, machine.Paragon} {
+		on := mk()
+		off := mk()
+		off.Mem.FastForward = memsim.FastForwardOff
+		name := on.Name
+
+		specs := []pattern.Spec{
+			pattern.Contig(), pattern.Strided(64), pattern.StridedBlock(64, 2), pattern.Indexed(),
+		}
+		for _, r := range specs {
+			for _, w := range specs {
+				fn := func(n *machine.Node) (Result, error) { return Copy(n, r, w, words) }
+				if a, b := run(on, fn), run(off, fn); a != b {
+					t.Errorf("%s %vC%v: ff on %+v != off %+v", name, r, w, a, b)
+				}
+			}
+		}
+		for _, s := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+			fn := func(n *machine.Node) (Result, error) { return Copy(n, pattern.Strided(s), pattern.Contig(), words) }
+			if a, b := run(on, fn), run(off, fn); a != b {
+				t.Errorf("%s %dC1: ff on %+v != off %+v", name, s, a, b)
+			}
+			fn = func(n *machine.Node) (Result, error) { return Copy(n, pattern.Contig(), pattern.Strided(s), words) }
+			if a, b := run(on, fn), run(off, fn); a != b {
+				t.Errorf("%s 1C%d: ff on %+v != off %+v", name, s, a, b)
+			}
+		}
+		for _, r := range specs {
+			fn := func(n *machine.Node) (Result, error) { return LoadSend(n, r, words) }
+			if a, b := run(on, fn), run(off, fn); a != b {
+				t.Errorf("%s %vS0: ff on %+v != off %+v", name, r, a, b)
+			}
+			fn = func(n *machine.Node) (Result, error) { return RecvStore(n, r, words) }
+			if a, b := run(on, fn), run(off, fn); a != b {
+				t.Errorf("%s 0R%v: ff on %+v != off %+v", name, r, a, b)
+			}
 		}
 	}
 }
