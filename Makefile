@@ -4,7 +4,7 @@ GO ?= go
 J ?= 4
 CIOUT ?= ci-out
 
-.PHONY: all build test test-short bench bench-hotpath experiments fuzz fuzz-smoke gofmt-check race ci clean
+.PHONY: all build test test-short bench bench-hotpath bench-serve experiments fuzz fuzz-smoke gofmt-check race serve-smoke ci clean
 
 all: build test
 
@@ -27,8 +27,19 @@ bench:
 bench-hotpath:
 	$(GO) test -bench 'BenchmarkRunStream|BenchmarkLoadStream|BenchmarkStoreStream|BenchmarkEngineWrite' -benchmem ./internal/memsim/
 
+# Serve-stack benchmarks: steady-state (cache-hot) mixed workload and
+# the cold (parse + evaluate) path, through the full HTTP handler stack.
+bench-serve:
+	$(GO) test -bench 'BenchmarkServe' -benchmem ./internal/serve/
+
 experiments:
 	$(GO) run ./cmd/experiments -check -j $(J)
+
+# End-to-end smoke test of the ctserved HTTP service over a real
+# socket: healthz, eval twice (cache hit), metrics, SIGTERM, clean
+# drain. Mirrors the CI serve-smoke job.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/model/
@@ -54,7 +65,7 @@ race:
 # $(CIOUT)/), the fast-forward differential gate (stdout must be
 # byte-identical with and without -no-fast-forward), the fuzz smoke
 # pass, and the one-iteration bench sweep.
-ci: build gofmt-check test race
+ci: build gofmt-check test race serve-smoke
 	mkdir -p $(CIOUT)
 	$(GO) run ./cmd/experiments -quick -check -j $(J) -stats $(CIOUT)/experiments-stats.json
 	$(GO) run ./cmd/experiments -quick -check -only tab1,tab2,tab3,fig4 -j $(J) > $(CIOUT)/ff-on.txt 2>/dev/null

@@ -11,6 +11,10 @@
 // With -op xQy both the buffer-packing and chained estimates of the
 // communication operation are printed; with -expr a single expression
 // is evaluated; -list prints the rate table itself.
+//
+// The evaluation itself lives in internal/query, which the ctserved
+// HTTP service shares: a served /v1/eval answer is byte-identical to
+// this command's stdout for the same inputs (see TestRunMatchesQuery).
 package main
 
 import (
@@ -18,12 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"ctcomm/internal/calibrate"
 	"ctcomm/internal/machine"
-	"ctcomm/internal/model"
-	"ctcomm/internal/pattern"
+	"ctcomm/internal/query"
 )
 
 func main() {
@@ -49,114 +50,30 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var m *machine.Machine
-	var err error
+	req := query.EvalRequest{
+		Machine:    *machineFlag,
+		Rates:      *ratesFlag,
+		Expr:       *exprFlag,
+		Op:         *opFlag,
+		List:       *listFlag,
+		Congestion: *congFlag,
+	}
 	if *machineFile != "" {
-		m, err = machine.LoadFile(*machineFile)
-	} else {
-		m, err = selectMachine(*machineFlag)
+		m, err := machine.LoadFile(*machineFile)
+		if err != nil {
+			return err
+		}
+		req.M = m
 	}
-	if err != nil {
-		return err
-	}
-	cong := *congFlag
-	if cong < 1 {
-		cong = m.DefaultCongestion
-	}
-
-	var rt *model.RateTable
-	switch *ratesFlag {
-	case "paper":
-		rt = model.PaperTables()[m.Name]
-	case "calibrated":
-		rt = calibrate.RateTableFor(m)
-	default:
-		return fmt.Errorf("unknown -rates %q (want paper or calibrated)", *ratesFlag)
-	}
-
-	switch {
-	case *listFlag:
-		fmt.Fprintf(out, "rate table %s:\n", rt.Name)
-		for _, key := range rt.Keys() {
-			term, err := model.ParseTerm(key)
-			if err != nil {
-				continue
-			}
-			rate, err := rt.Rate(term)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(out, "  %-8s %7.1f MB/s\n", key, rate)
-		}
-		return nil
-
-	case *exprFlag != "":
-		e, err := model.Parse(*exprFlag)
-		if err != nil {
-			return err
-		}
-		rate, err := model.Evaluate(e, rt, cong)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "|%s| = %.1f MB/s  (machine %s, rates %s, congestion %.0f)\n",
-			e, rate, m.Name, *ratesFlag, cong)
-		return nil
-
-	case *opFlag != "":
-		x, y, err := parseOp(*opFlag)
-		if err != nil {
-			return err
-		}
-		caps := model.CapsOf(m)
-		packedE := model.BufferPacking(caps, x, y)
-		packed, err := model.Evaluate(packedE, rt, cong)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "buffer-packing: |%s| = %.1f MB/s\n", packedE, packed)
-		chainedE, err := model.Chained(caps, x, y)
-		if err != nil {
-			fmt.Fprintf(out, "chained:        not implementable: %v\n", err)
-			return nil
-		}
-		chained, err := model.Evaluate(chainedE, rt, cong)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "chained:        |%s| = %.1f MB/s  (%.2fx)\n", chainedE, chained, chained/packed)
-		if leaf, rate, err := model.Bottleneck(chainedE, rt, cong); err == nil {
-			fmt.Fprintf(out, "bottleneck:     %s at %.1f MB/s\n", leaf, rate)
-		}
-		return nil
-
-	default:
+	if !req.List && req.Expr == "" && req.Op == "" {
 		fs.Usage()
 		return fmt.Errorf("one of -expr, -op or -list is required")
 	}
-}
 
-func selectMachine(name string) (*machine.Machine, error) {
-	switch strings.ToLower(name) {
-	case "t3d", "cray", "cray t3d":
-		return machine.T3D(), nil
-	case "paragon", "intel", "intel paragon":
-		return machine.Paragon(), nil
-	default:
-		return nil, fmt.Errorf("unknown machine %q (want t3d or paragon)", name)
-	}
-}
-
-// parseOp splits an xQy operation label such as "1Q64" or "wQw".
-func parseOp(op string) (x, y pattern.Spec, err error) {
-	i := strings.IndexByte(op, 'Q')
-	if i <= 0 || i == len(op)-1 {
-		return x, y, fmt.Errorf("invalid operation %q (want xQy, e.g. 1Q64)", op)
-	}
-	x, err = pattern.ParseSpec(op[:i])
+	resp, err := query.Eval(req)
 	if err != nil {
-		return x, y, err
+		return err
 	}
-	y, err = pattern.ParseSpec(op[i+1:])
-	return x, y, err
+	_, err = io.WriteString(out, resp.Text)
+	return err
 }

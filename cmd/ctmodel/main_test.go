@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"ctcomm/internal/query"
 )
 
 func TestRunExpr(t *testing.T) {
@@ -71,11 +73,43 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestParseOp(t *testing.T) {
-	x, y, err := parseOp("64x2Q1")
+	x, y, err := query.ParseOp("64x2Q1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if x.String() != "64x2" || y.String() != "1" {
-		t.Errorf("parseOp = %v, %v", x, y)
+		t.Errorf("ParseOp = %v, %v", x, y)
+	}
+}
+
+// TestRunMatchesQuery is the CLI half of the serve determinism
+// contract: ctmodel stdout must be byte-identical to the Text field of
+// the query.Eval answer for the same inputs (ctserved serves that same
+// Text, so a served answer can be diffed against a local run).
+func TestRunMatchesQuery(t *testing.T) {
+	cases := []struct {
+		args []string
+		req  query.EvalRequest
+	}{
+		{[]string{"-machine", "t3d", "-expr", "1C1 o (1S0 || Nd || 0D1) o 1C64"},
+			query.EvalRequest{Machine: "t3d", Expr: "1C1 o (1S0 || Nd || 0D1) o 1C64"}},
+		{[]string{"-machine", "paragon", "-op", "1Q64", "-congestion", "4"},
+			query.EvalRequest{Machine: "paragon", Op: "1Q64", Congestion: 4}},
+		{[]string{"-machine", "t3d", "-list"},
+			query.EvalRequest{Machine: "t3d", List: true}},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		if err := run(c.args, &out); err != nil {
+			t.Fatalf("run(%v): %v", c.args, err)
+		}
+		resp, err := query.Eval(c.req)
+		if err != nil {
+			t.Fatalf("Eval(%+v): %v", c.req, err)
+		}
+		if out.String() != resp.Text {
+			t.Errorf("run(%v) stdout differs from query text:\n--- cli\n%s\n--- query\n%s",
+				c.args, out.String(), resp.Text)
+		}
 	}
 }

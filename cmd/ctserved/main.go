@@ -1,0 +1,124 @@
+// Command ctserved serves the copy-transfer cost model over HTTP/JSON:
+// the query interface the paper's §2.1 compiler scenario implies, as a
+// long-running service instead of a linked library.
+//
+//	ctserved -addr 127.0.0.1:8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/eval -d '{"machine":"t3d","expr":"1C64"}'
+//	curl -s -X POST localhost:8080/v1/plan -d '{"machine":"t3d","n":65536,"p":64,"src":"BLOCK","dst":"CYCLIC"}'
+//	curl -s localhost:8080/metrics
+//
+// The server answers repeated queries from an LRU result cache, sheds
+// load with 429 + Retry-After when its worker queue is full, and on
+// SIGINT/SIGTERM drains in-flight requests before exiting (bounded by
+// -drain-timeout). With -stats the final observability counters are
+// dumped as JSON on shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ctcomm/internal/serve"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stderr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctserved:", err)
+	}
+	os.Exit(code)
+}
+
+// run starts the server and blocks until a termination signal arrives
+// or stop is closed (tests use stop; the CLI passes nil). logw receives
+// the "listening on" line and shutdown progress. It returns the process
+// exit code: 0 on clean drain, 2 for invalid flags, 1 otherwise.
+func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
+	fs := flag.NewFlagSet("ctserved", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addrFlag    = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workersFlag = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queueFlag   = fs.Int("queue", 64, "admission-control queue depth")
+		cacheFlag   = fs.Int("cache", 4096, "result-cache entries")
+		timeoutFlag = fs.Duration("timeout", 30*time.Second, "per-request deadline")
+		drainFlag   = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+		statsFlag   = fs.String("stats", "", "file to write final observability counters to as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *queueFlag <= 0 || *cacheFlag < 0 || *workersFlag < 0 {
+		return 2, fmt.Errorf("-queue must be positive and -cache/-workers non-negative")
+	}
+
+	s := serve.New(serve.Config{
+		Workers:        *workersFlag,
+		QueueDepth:     *queueFlag,
+		CacheEntries:   *cacheFlag,
+		RequestTimeout: *timeoutFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return 1, err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(logw, "ctserved: listening on %s (%s)\n", ln.Addr(), s)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(logw, "ctserved: %s, draining (bound %s)\n", got, *drainFlag)
+	case <-stop:
+		fmt.Fprintf(logw, "ctserved: stop requested, draining (bound %s)\n", *drainFlag)
+	case err := <-serveErr:
+		return 1, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if shutdownErr == nil {
+		// HTTP traffic has drained; now drain the worker queue.
+		s.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return 1, err
+	}
+
+	if *statsFlag != "" {
+		f, err := os.Create(*statsFlag)
+		if err != nil {
+			return 1, err
+		}
+		if err := s.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		if err := f.Close(); err != nil {
+			return 1, err
+		}
+	}
+	if shutdownErr != nil {
+		return 1, fmt.Errorf("drain timed out: %w", shutdownErr)
+	}
+	fmt.Fprintln(logw, "ctserved: drained, bye")
+	return 0, nil
+}

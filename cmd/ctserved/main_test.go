@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the real server on an ephemeral port,
+// queries it, stops it, and checks the clean-drain exit path plus the
+// -stats dump — the in-process version of the CI serve-smoke job.
+func TestRunServesAndDrains(t *testing.T) {
+	statsPath := filepath.Join(t.TempDir(), "stats.json")
+	pr, pw := io.Pipe()
+	stop := make(chan struct{})
+	done := make(chan struct {
+		code int
+		err  error
+	}, 1)
+	go func() {
+		code, err := run([]string{"-addr", "127.0.0.1:0", "-stats", statsPath}, pw, stop)
+		pw.Close()
+		done <- struct {
+			code int
+			err  error
+		}{code, err}
+	}()
+
+	// Parse the announced address from the log line.
+	sc := bufio.NewScanner(pr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("no listening line")
+	}
+	go io.Copy(io.Discard, pr) // keep the log pipe drained
+
+	get := func(path string) *http.Response {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	resp := get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	body := strings.NewReader(`{"machine":"t3d","expr":"1C64"}`)
+	post, err := http.Post("http://"+addr+"/v1/eval", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eval struct {
+		MBps float64 `json:"mbps"`
+		Text string  `json:"text"`
+	}
+	if err := json.NewDecoder(post.Body).Decode(&eval); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if eval.MBps <= 0 || !strings.Contains(eval.Text, "|1C64|") {
+		t.Errorf("eval = %+v", eval)
+	}
+
+	resp = get("/metrics")
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "ctserved_requests_total") {
+		t.Errorf("metrics missing counters:\n%s", b)
+	}
+
+	close(stop)
+	select {
+	case r := <-done:
+		if r.err != nil || r.code != 0 {
+			t.Fatalf("run exited code=%d err=%v", r.code, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain in time")
+	}
+
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]interface{}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("stats dump not JSON: %v\n%s", err, data)
+	}
+	if _, ok := stats["endpoints"]; !ok {
+		t.Errorf("stats dump missing endpoints:\n%s", data)
+	}
+}
+
+func TestRunInvalidFlags(t *testing.T) {
+	if code, err := run([]string{"-queue", "0"}, io.Discard, nil); err == nil || code != 2 {
+		t.Errorf("code=%d err=%v, want 2 with error", code, err)
+	}
+	if code, err := run([]string{"-bogus"}, io.Discard, nil); err == nil || code != 2 {
+		t.Errorf("code=%d err=%v, want 2 with error", code, err)
+	}
+}

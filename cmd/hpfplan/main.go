@@ -10,29 +10,37 @@
 //	hpfplan -machine t3d -n 65536 -p 64 -src BLOCK -dst CYCLIC
 //	hpfplan -machine t3d -n 65536 -p 64 -src BLOCK -dst "CYCLIC(8)"
 //	hpfplan -machine paragon -transpose 1024 -p 64
+//
+// Invalid flags (unknown machine or distribution, non-positive sizes or
+// processor counts) exit with code 2, matching cmd/experiments'
+// convention; execution failures exit 1.
+//
+// The planning itself lives in internal/query, which the ctserved HTTP
+// service shares: a served /v1/plan answer is byte-identical to this
+// command's stdout for the same inputs (see TestRunMatchesQuery).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
-	"ctcomm/internal/comm"
-	"ctcomm/internal/distrib"
-	"ctcomm/internal/machine"
+	"ctcomm/internal/query"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpfplan:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string, out io.Writer) error {
+// run executes the CLI and returns the process exit code: 0 on success,
+// 2 for invalid flags, 1 for execution failures.
+func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("hpfplan", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -44,111 +52,38 @@ func run(args []string, out io.Writer) error {
 		transFlag   = fs.Int("transpose", 0, "plan an n x n transpose instead (Figure 9)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 2, err
 	}
 
-	var m *machine.Machine
-	switch strings.ToLower(*machineFlag) {
-	case "t3d":
-		m = machine.T3D()
-	case "paragon":
-		m = machine.Paragon()
-	default:
-		return fmt.Errorf("unknown machine %q", *machineFlag)
+	// Validate sizes up front with exact messages; query.Plan would
+	// catch them too, but only after Canon() has replaced zero values
+	// with defaults, and `-n 0` must be an error, not "65536 elements".
+	if *nFlag <= 0 {
+		return 2, fmt.Errorf("-n must be positive, got %d", *nFlag)
+	}
+	if *pFlag <= 0 {
+		return 2, fmt.Errorf("-p must be positive, got %d", *pFlag)
+	}
+	if *transFlag < 0 {
+		return 2, fmt.Errorf("-transpose must be positive, got %d", *transFlag)
 	}
 
-	var plan []distrib.Transfer
-	var what string
-	if *transFlag > 0 {
-		n := *transFlag
-		// §5.2: pick the orientation that suits the machine — strided
-		// stores on the T3D (write queue), strided loads on the Paragon
-		// (prefetch queue).
-		stridedLoads := m.CoProcessor // the Paragon profile marker
-		var err error
-		plan, err = distrib.TransposePlan(n, *pFlag, stridedLoads)
-		if err != nil {
-			return err
-		}
-		orient := "1Qn (contiguous loads, strided stores)"
-		if stridedLoads {
-			orient = "nQ1 (strided loads, contiguous stores)"
-		}
-		what = fmt.Sprintf("transpose of a %dx%d array, orientation %s", n, n, orient)
-	} else {
-		src, err := parseDist(*srcFlag, *nFlag, *pFlag)
-		if err != nil {
-			return fmt.Errorf("-src: %w", err)
-		}
-		dst, err := parseDist(*dstFlag, *nFlag, *pFlag)
-		if err != nil {
-			return fmt.Errorf("-dst: %w", err)
-		}
-		plan, err = distrib.Plan(src, dst)
-		if err != nil {
-			return err
-		}
-		what = fmt.Sprintf("redistribution %s -> %s of %d elements", src, dst, *nFlag)
-	}
-
-	fmt.Fprintf(out, "machine: %s\n", m)
-	fmt.Fprintf(out, "operation: %s\n", what)
-	if len(plan) == 0 {
-		fmt.Fprintln(out, "no communication required: the layouts agree")
-		return nil
-	}
-
-	// Summarize the plan.
-	patterns := map[string]int{}
-	words := 0
-	for _, t := range plan {
-		patterns[t.Src.String()+"Q"+t.Dst.String()]++
-		words += t.Words()
-	}
-	fmt.Fprintf(out, "plan: %d transfers, %d words total, patterns %v\n",
-		len(plan), words, patterns)
-
-	// Price both styles.
-	packed, err := distrib.Execute(m, plan, distrib.ExecuteOptions{Style: comm.BufferPacking})
+	resp, err := query.Plan(query.PlanRequest{
+		Machine:   *machineFlag,
+		N:         *nFlag,
+		P:         *pFlag,
+		Src:       *srcFlag,
+		Dst:       *dstFlag,
+		Transpose: *transFlag,
+	})
 	if err != nil {
-		return err
-	}
-	chained, chainedErr := distrib.Execute(m, plan, distrib.ExecuteOptions{Style: comm.Chained})
-
-	fmt.Fprintf(out, "buffer-packing: %6.1f MB/s per node  (%.1f us)\n",
-		packed.MBps(), packed.ElapsedNs/1e3)
-	if chainedErr != nil {
-		fmt.Fprintf(out, "chained:        not implementable: %v\n", chainedErr)
-		fmt.Fprintln(out, "recommendation: buffer-packing (no capable deposit engine)")
-		return nil
-	}
-	fmt.Fprintf(out, "chained:        %6.1f MB/s per node  (%.1f us)\n",
-		chained.MBps(), chained.ElapsedNs/1e3)
-	if chained.MBps() > packed.MBps() {
-		fmt.Fprintf(out, "recommendation: chained transfers (%.2fx faster)\n",
-			chained.MBps()/packed.MBps())
-	} else {
-		fmt.Fprintf(out, "recommendation: buffer-packing (%.2fx faster)\n",
-			packed.MBps()/chained.MBps())
-	}
-	return nil
-}
-
-// parseDist reads "BLOCK", "CYCLIC" or "CYCLIC(b)" (case-insensitive).
-func parseDist(text string, n, p int) (distrib.Distribution, error) {
-	t := strings.ToUpper(strings.TrimSpace(text))
-	switch {
-	case t == "BLOCK":
-		return distrib.NewBlock(n, p)
-	case t == "CYCLIC":
-		return distrib.NewCyclic(n, p)
-	case strings.HasPrefix(t, "CYCLIC(") && strings.HasSuffix(t, ")"):
-		b, err := strconv.Atoi(t[len("CYCLIC(") : len(t)-1])
-		if err != nil {
-			return distrib.Distribution{}, fmt.Errorf("invalid block size in %q", text)
+		if errors.Is(err, query.ErrBadRequest) {
+			return 2, err
 		}
-		return distrib.NewBlockCyclic(n, p, b)
-	default:
-		return distrib.Distribution{}, fmt.Errorf("unknown distribution %q (want BLOCK, CYCLIC or CYCLIC(b))", text)
+		return 1, err
 	}
+	if _, err := io.WriteString(out, resp.Text); err != nil {
+		return 1, err
+	}
+	return 0, nil
 }

@@ -5,14 +5,15 @@ import (
 	"testing"
 
 	"ctcomm/internal/distrib"
+	"ctcomm/internal/query"
 )
 
 func TestRunRedistribution(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-machine", "t3d", "-n", "4096", "-p", "16",
+	code, err := run([]string{"-machine", "t3d", "-n", "4096", "-p", "16",
 		"-src", "BLOCK", "-dst", "CYCLIC"}, &out)
-	if err != nil {
-		t.Fatal(err)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
 	}
 	s := out.String()
 	for _, want := range []string{"16Q1", "buffer-packing", "chained", "recommendation: chained"} {
@@ -24,9 +25,9 @@ func TestRunRedistribution(t *testing.T) {
 
 func TestRunBlockCyclic(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-n", "4096", "-p", "16", "-src", "BLOCK", "-dst", "CYCLIC(8)"}, &out)
-	if err != nil {
-		t.Fatal(err)
+	code, err := run([]string{"-n", "4096", "-p", "16", "-src", "BLOCK", "-dst", "CYCLIC(8)"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
 	}
 	if !strings.Contains(out.String(), "recommendation") {
 		t.Errorf("missing recommendation:\n%s", out.String())
@@ -35,15 +36,15 @@ func TestRunBlockCyclic(t *testing.T) {
 
 func TestRunTransposeOrientationPerMachine(t *testing.T) {
 	var t3d strings.Builder
-	if err := run([]string{"-machine", "t3d", "-transpose", "256", "-p", "16"}, &t3d); err != nil {
-		t.Fatal(err)
+	if code, err := run([]string{"-machine", "t3d", "-transpose", "256", "-p", "16"}, &t3d); err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
 	}
 	if !strings.Contains(t3d.String(), "strided stores") {
 		t.Errorf("T3D should pick the strided-store orientation:\n%s", t3d.String())
 	}
 	var par strings.Builder
-	if err := run([]string{"-machine", "paragon", "-transpose", "256", "-p", "16"}, &par); err != nil {
-		t.Fatal(err)
+	if code, err := run([]string{"-machine", "paragon", "-transpose", "256", "-p", "16"}, &par); err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
 	}
 	if !strings.Contains(par.String(), "strided loads") {
 		t.Errorf("Paragon should pick the strided-load orientation:\n%s", par.String())
@@ -52,37 +53,92 @@ func TestRunTransposeOrientationPerMachine(t *testing.T) {
 
 func TestRunNoCommunication(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-n", "1024", "-p", "8", "-src", "BLOCK", "-dst", "BLOCK"}, &out)
-	if err != nil {
-		t.Fatal(err)
+	code, err := run([]string{"-n", "1024", "-p", "8", "-src", "BLOCK", "-dst", "BLOCK"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
 	}
 	if !strings.Contains(out.String(), "no communication required") {
 		t.Errorf("identity remap should need no communication:\n%s", out.String())
 	}
 }
 
-func TestRunErrors(t *testing.T) {
-	cases := [][]string{
-		{"-machine", "cm5"},
-		{"-src", "SCATTERED"},
-		{"-dst", "CYCLIC(x)"},
-		{"-transpose", "100", "-p", "64"}, // 64 does not divide 100
+// Invalid flags must exit 2 with a message naming the offending value,
+// matching the exit-code convention cmd/experiments established.
+func TestRunInvalidFlagsExit2(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error must contain
+	}{
+		{[]string{"-n", "0"}, "-n must be positive"},
+		{[]string{"-n", "-4096"}, "-n must be positive"},
+		{[]string{"-p", "0"}, "-p must be positive"},
+		{[]string{"-p", "-16"}, "-p must be positive"},
+		{[]string{"-transpose", "-256"}, "-transpose must be positive"},
+		{[]string{"-machine", "cm5"}, "cm5"},
+		{[]string{"-src", "SCATTERED"}, "SCATTERED"},
+		{[]string{"-dst", "CYCLIC(x)"}, "block size"},
 	}
-	for _, args := range cases {
+	for _, c := range cases {
 		var out strings.Builder
-		if err := run(args, &out); err == nil {
-			t.Errorf("run(%v) should fail", args)
+		code, err := run(c.args, &out)
+		if err == nil || code != 2 {
+			t.Errorf("run(%v) = code %d, err %v; want code 2 with error", c.args, code, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) error %q missing %q", c.args, err, c.want)
 		}
 	}
 }
 
-func TestParseDist(t *testing.T) {
-	d, err := parseDist("cyclic(4)", 64, 4)
-	if err != nil || d.Kind != distrib.BlockCyclicKind || d.Block != 4 {
-		t.Fatalf("parseDist = %v, %v", d, err)
+// Execution failures (well-formed flags, infeasible plan) stay exit 1.
+func TestRunExecutionErrorExit1(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-transpose", "100", "-p", "64"}, &out) // 64 does not divide 100
+	if err == nil || code != 1 {
+		t.Errorf("code=%d err=%v; want code 1 with error", code, err)
 	}
-	b, err := parseDist(" block ", 64, 4)
+}
+
+func TestParseDist(t *testing.T) {
+	d, err := query.ParseDist("cyclic(4)", 64, 4)
+	if err != nil || d.Kind != distrib.BlockCyclicKind || d.Block != 4 {
+		t.Fatalf("ParseDist = %v, %v", d, err)
+	}
+	b, err := query.ParseDist(" block ", 64, 4)
 	if err != nil || b.Kind != distrib.BlockKind {
-		t.Fatalf("parseDist block = %v, %v", b, err)
+		t.Fatalf("ParseDist block = %v, %v", b, err)
+	}
+}
+
+// TestRunMatchesQuery is the CLI half of the serve determinism
+// contract: hpfplan stdout must be byte-identical to the Text field of
+// the query.Plan answer for the same inputs (ctserved serves that same
+// Text, so a served answer can be diffed against a local run).
+func TestRunMatchesQuery(t *testing.T) {
+	cases := []struct {
+		args []string
+		req  query.PlanRequest
+	}{
+		{[]string{"-machine", "t3d", "-n", "4096", "-p", "16", "-src", "BLOCK", "-dst", "CYCLIC"},
+			query.PlanRequest{Machine: "t3d", N: 4096, P: 16, Src: "BLOCK", Dst: "CYCLIC"}},
+		{[]string{"-machine", "paragon", "-transpose", "256", "-p", "16"},
+			query.PlanRequest{Machine: "paragon", Transpose: 256, P: 16}},
+		{[]string{"-n", "1024", "-p", "8", "-src", "BLOCK", "-dst", "CYCLIC(8)"},
+			query.PlanRequest{N: 1024, P: 8, Src: "BLOCK", Dst: "CYCLIC(8)"}},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		if code, err := run(c.args, &out); err != nil || code != 0 {
+			t.Fatalf("run(%v): code=%d err=%v", c.args, code, err)
+		}
+		resp, err := query.Plan(c.req)
+		if err != nil {
+			t.Fatalf("Plan(%+v): %v", c.req, err)
+		}
+		if out.String() != resp.Text {
+			t.Errorf("run(%v) stdout differs from query text:\n--- cli\n%s\n--- query\n%s",
+				c.args, out.String(), resp.Text)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"ctcomm/internal/datatype"
 	"ctcomm/internal/distrib"
 	"ctcomm/internal/pattern"
+	"ctcomm/internal/query"
 	"ctcomm/internal/syncsim"
 	"ctcomm/internal/trace"
 )
@@ -144,6 +145,58 @@ func PlanRemap2D(src, dst Dist2D) ([]Transfer, error) { return distrib.Plan2D(sr
 func PlanTranspose(n, procs int, stridedLoads bool) ([]Transfer, error) {
 	return distrib.TransposePlan(n, procs, stridedLoads)
 }
+
+// --- Query interface (the serving core) ----------------------------------
+//
+// These are the entry points cmd/ctmodel, cmd/hpfplan, and the ctserved
+// HTTP service all share. A request names machines, rate tables,
+// expressions, and distributions as strings — the external query
+// surface — and the response carries both structured numbers and the
+// exact rendered text the CLIs print, byte for byte.
+
+// EvalQuery evaluates a copy-transfer expression, operation, or rate
+// listing by name (ctmodel / POST /v1/eval).
+type EvalQuery = query.EvalRequest
+
+// EvalAnswer is the structured + rendered result of an EvalQuery.
+type EvalAnswer = query.EvalResponse
+
+// PlanQuery plans and prices an HPF redistribution by name
+// (hpfplan / POST /v1/plan).
+type PlanQuery = query.PlanRequest
+
+// PlanAnswer is the structured + rendered result of a PlanQuery.
+type PlanAnswer = query.PlanResponse
+
+// PriceQuery prices one communication operation under a named style
+// (POST /v1/price).
+type PriceQuery = query.PriceRequest
+
+// PriceAnswer is the structured result of a PriceQuery.
+type PriceAnswer = query.PriceResponse
+
+// Eval answers an EvalQuery. Unset fields take the query defaults
+// (machine t3d, paper rates).
+func Eval(q EvalQuery) (EvalAnswer, error) { return query.Eval(q) }
+
+// Plan answers a PlanQuery.
+func Plan(q PlanQuery) (PlanAnswer, error) { return query.Plan(q) }
+
+// Price answers a PriceQuery.
+func Price(q PriceQuery) (PriceAnswer, error) { return query.Price(q) }
+
+// ParseOperation parses an "xQy" operation name into its pattern pair.
+func ParseOperation(op string) (x, y Pattern, err error) { return query.ParseOp(op) }
+
+// ParseStyle resolves a communication-style name ("buffer-packing",
+// "chained", "pvm", ...) to its Style.
+func ParseStyle(name string) (Style, error) { return comm.ParseStyle(name) }
+
+// ResolveMachine resolves a machine name ("t3d", "paragon", ...),
+// accepting the alternate spellings the CLIs and the server take
+// ("cray", "intel", ...). Unlike MachineByName it reports unknown
+// names as an error instead of nil.
+func ResolveMachine(name string) (*Machine, error) { return query.ResolveMachine(name) }
 
 // --- MPI-style derived datatypes -----------------------------------------
 

@@ -172,3 +172,49 @@ func TestFacadeDatatypes(t *testing.T) {
 		t.Error("overlapping indexed type should fail")
 	}
 }
+
+func TestFacadeQuerySurface(t *testing.T) {
+	ans, err := ctcomm.Eval(ctcomm.EvalQuery{Expr: "1C64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.MBps <= 0 || ans.Text == "" {
+		t.Errorf("eval answer = %+v", ans)
+	}
+
+	plan, err := ctcomm.Plan(ctcomm.PlanQuery{N: 4096, P: 16, Src: "BLOCK", Dst: "CYCLIC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Recommendation != "chained" {
+		t.Errorf("plan recommendation = %q", plan.Recommendation)
+	}
+
+	price, err := ctcomm.Price(ctcomm.PriceQuery{Style: "chained", X: "1", Y: "64", Words: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if price.MBps <= 0 || price.Op != "1Q64" {
+		t.Errorf("price answer = %+v", price)
+	}
+
+	x, y, err := ctcomm.ParseOperation("wQ64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != "w" || y.String() != "64" {
+		t.Errorf("ParseOperation = %v, %v", x, y)
+	}
+	if _, err := ctcomm.ParseStyle("chained"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ctcomm.ParseStyle("smoke-signals"); err == nil {
+		t.Error("unknown style should fail")
+	}
+	if m, err := ctcomm.ResolveMachine("cray"); err != nil || m.Name != "Cray T3D" {
+		t.Errorf("ResolveMachine(cray) = %v, %v", m, err)
+	}
+	if _, err := ctcomm.ResolveMachine("cm5"); err == nil {
+		t.Error("unknown machine should fail")
+	}
+}

@@ -23,6 +23,7 @@ package comm
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"ctcomm/internal/machine"
 	"ctcomm/internal/netsim"
@@ -63,6 +64,23 @@ func (s Style) String() string {
 		return "pvm"
 	default:
 		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// ParseStyle maps a style name (as produced by Style.String, plus the
+// aliases "packing" and "packed") back to the Style value.
+func ParseStyle(name string) (Style, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "buffer-packing", "packing", "packed":
+		return BufferPacking, nil
+	case "chained":
+		return Chained, nil
+	case "direct":
+		return Direct, nil
+	case "pvm":
+		return PVM, nil
+	default:
+		return 0, fmt.Errorf("comm: unknown style %q (want buffer-packing, chained, direct or pvm)", name)
 	}
 }
 

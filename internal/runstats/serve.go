@@ -1,0 +1,74 @@
+package runstats
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The types below are the serve-subsystem analogue of Summary: the
+// machine-readable dump of ctserved's observability counters (request
+// counts and latency histograms per endpoint, result-cache and
+// calibration-cache effectiveness, queue pressure). internal/serve
+// fills one from its live metrics for `GET /v1/stats` and for the
+// `ctserved -stats out.json` shutdown dump, mirroring how
+// cmd/experiments archives a Summary per run.
+
+// BucketCount is one cumulative latency-histogram bucket: Count
+// requests finished in at most LEMs milliseconds. The unbounded bucket
+// (+Inf, which JSON cannot carry) is rendered with LEMs = -1.
+type BucketCount struct {
+	LEMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// EndpointStats reports one endpoint's traffic.
+type EndpointStats struct {
+	// Requests counts completed requests by HTTP status code.
+	Requests map[string]int64 `json:"requests"`
+	// LatencyMs is the cumulative histogram of request latencies; the
+	// last bucket is unbounded and carries LEMs = -1.
+	LatencyMs []BucketCount `json:"latency_ms,omitempty"`
+	// SumMs and Count parameterize the mean latency.
+	SumMs float64 `json:"sum_ms"`
+	Count int64   `json:"count"`
+}
+
+// CacheStats reports the serve result cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"` // singleflight waiters served by a leader's miss
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// QueueStats reports worker-pool admission control.
+type QueueStats struct {
+	Depth    int64 `json:"depth"`
+	Capacity int   `json:"capacity"`
+	Workers  int   `json:"workers"`
+	Rejected int64 `json:"rejected"` // 429 responses
+}
+
+// CalibrationStats reports the process-wide calibration cache
+// (calibrate.CacheStats()).
+type CalibrationStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// ServeStats is the `-stats`-style JSON dump of a ctserved instance.
+type ServeStats struct {
+	UptimeMs    float64                  `json:"uptime_ms"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	Cache       CacheStats               `json:"cache"`
+	Queue       QueueStats               `json:"queue"`
+	Calibration CalibrationStats         `json:"calibration"`
+}
+
+// WriteJSON emits the stats as indented JSON with a trailing newline.
+func (s *ServeStats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ctcomm/internal/query"
+)
+
+// maxBodyBytes bounds a request body; cost queries are tiny.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/eval", s.instrument("eval", s.handleEval))
+	s.mux.HandleFunc("/v1/price", s.instrument("price", s.handlePrice))
+	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
+}
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with in-flight accounting, the
+// per-request deadline, and request-count/latency metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		s.metrics.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client went away; nothing left to do
+}
+
+// writeError maps an error to its HTTP status and JSON envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded, retry later"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; the status is for the access log.
+		writeJSON(w, 499, errorBody{Error: "client closed request"})
+	case errors.Is(err, query.ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// decodeBody strictly decodes one JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: invalid JSON body: %v", query.ErrBadRequest, err)
+	}
+	return nil
+}
+
+// requirePost rejects non-POST methods.
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req query.EvalRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
+		return query.Eval(req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req query.PriceRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
+		return query.Price(req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req query.PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
+		return query.Plan(req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.writePrometheus(w, s.cache, s.cfg.QueueDepth, s.cfg.Workers)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

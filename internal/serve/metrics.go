@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctcomm/internal/calibrate"
+	"ctcomm/internal/runstats"
+)
+
+// latencyBuckets are the cumulative histogram upper bounds in seconds.
+// The serve hot path is microseconds (cache hit) to tens of
+// milliseconds (cold plan), with calibration-triggering cold evals
+// reaching seconds, so the buckets span 100us .. 10s.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// endpointMetrics tracks one endpoint's traffic: completed requests by
+// status code and a fixed-bucket latency histogram.
+type endpointMetrics struct {
+	mu    sync.Mutex
+	codes map[int]int64
+
+	buckets []atomic.Int64 // len(latencyBuckets)+1; the last is +Inf
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (e *endpointMetrics) observe(code int, d time.Duration) {
+	e.mu.Lock()
+	e.codes[code]++
+	e.mu.Unlock()
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	e.buckets[i].Add(1)
+	e.count.Add(1)
+	e.sumNs.Add(int64(d))
+}
+
+// metrics is the server-wide observability state, exported both in
+// Prometheus text format (GET /metrics) and as a runstats.ServeStats
+// JSON dump (GET /v1/stats, ctserved -stats).
+type metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics // fixed key set, no lock needed
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCollapsed atomic.Int64
+
+	queueDepth atomic.Int64
+	rejected   atomic.Int64
+	inflight   atomic.Int64
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{
+			codes:   map[int]int64{},
+			buckets: make([]atomic.Int64, len(latencyBuckets)+1),
+		}
+	}
+	return m
+}
+
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	if e, ok := m.endpoints[endpoint]; ok {
+		e.observe(code, d)
+	}
+}
+
+// endpointNames returns the tracked endpoints in stable order.
+func (m *metrics) endpointNames() []string {
+	names := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		names = append(names, ep)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writePrometheus renders the metrics in Prometheus text exposition
+// format (version 0.0.4).
+func (m *metrics) writePrometheus(w io.Writer, cache *lruCache, queueCap, workers int) error {
+	var b []byte
+	appendf := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	appendf("# HELP ctserved_uptime_seconds Time since server start.\n")
+	appendf("# TYPE ctserved_uptime_seconds gauge\n")
+	appendf("ctserved_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	appendf("# HELP ctserved_requests_total Completed requests by endpoint and status code.\n")
+	appendf("# TYPE ctserved_requests_total counter\n")
+	for _, ep := range m.endpointNames() {
+		e := m.endpoints[ep]
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.codes))
+		for c := range e.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			appendf("ctserved_requests_total{endpoint=%q,code=%q} %d\n", ep, strconv.Itoa(c), e.codes[c])
+		}
+		e.mu.Unlock()
+	}
+
+	appendf("# HELP ctserved_request_seconds Request latency by endpoint.\n")
+	appendf("# TYPE ctserved_request_seconds histogram\n")
+	for _, ep := range m.endpointNames() {
+		e := m.endpoints[ep]
+		if e.count.Load() == 0 {
+			continue
+		}
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += e.buckets[i].Load()
+			appendf("ctserved_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, formatLE(le), cum)
+		}
+		cum += e.buckets[len(latencyBuckets)].Load()
+		appendf("ctserved_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		appendf("ctserved_request_seconds_sum{endpoint=%q} %g\n", ep, float64(e.sumNs.Load())/1e9)
+		appendf("ctserved_request_seconds_count{endpoint=%q} %d\n", ep, e.count.Load())
+	}
+
+	appendf("# HELP ctserved_cache_hits_total Result-cache hits.\n")
+	appendf("# TYPE ctserved_cache_hits_total counter\n")
+	appendf("ctserved_cache_hits_total %d\n", m.cacheHits.Load())
+	appendf("# HELP ctserved_cache_misses_total Result-cache misses (queries actually executed).\n")
+	appendf("# TYPE ctserved_cache_misses_total counter\n")
+	appendf("ctserved_cache_misses_total %d\n", m.cacheMisses.Load())
+	appendf("# HELP ctserved_cache_collapsed_total Requests collapsed onto an identical in-flight query.\n")
+	appendf("# TYPE ctserved_cache_collapsed_total counter\n")
+	appendf("ctserved_cache_collapsed_total %d\n", m.cacheCollapsed.Load())
+	appendf("# HELP ctserved_cache_entries Result-cache entries resident.\n")
+	appendf("# TYPE ctserved_cache_entries gauge\n")
+	appendf("ctserved_cache_entries %d\n", cache.len())
+
+	appendf("# HELP ctserved_queue_depth Jobs waiting for a worker.\n")
+	appendf("# TYPE ctserved_queue_depth gauge\n")
+	appendf("ctserved_queue_depth %d\n", m.queueDepth.Load())
+	appendf("# HELP ctserved_queue_capacity Admission-control queue capacity.\n")
+	appendf("# TYPE ctserved_queue_capacity gauge\n")
+	appendf("ctserved_queue_capacity %d\n", queueCap)
+	appendf("# HELP ctserved_workers Worker-pool size.\n")
+	appendf("# TYPE ctserved_workers gauge\n")
+	appendf("ctserved_workers %d\n", workers)
+	appendf("# HELP ctserved_rejected_total Requests rejected with 429 by admission control.\n")
+	appendf("# TYPE ctserved_rejected_total counter\n")
+	appendf("ctserved_rejected_total %d\n", m.rejected.Load())
+	appendf("# HELP ctserved_inflight Requests currently being handled.\n")
+	appendf("# TYPE ctserved_inflight gauge\n")
+	appendf("ctserved_inflight %d\n", m.inflight.Load())
+
+	calHits, calMisses := calibrate.CacheStats()
+	appendf("# HELP ctserved_calibration_hits_total Calibration rate-table cache hits (process-wide).\n")
+	appendf("# TYPE ctserved_calibration_hits_total counter\n")
+	appendf("ctserved_calibration_hits_total %d\n", calHits)
+	appendf("# HELP ctserved_calibration_misses_total Calibration rate-table measurements (process-wide).\n")
+	appendf("# TYPE ctserved_calibration_misses_total counter\n")
+	appendf("ctserved_calibration_misses_total %d\n", calMisses)
+
+	_, err := w.Write(b)
+	return err
+}
+
+// formatLE renders a histogram bound the way Prometheus clients do:
+// shortest exact decimal.
+func formatLE(le float64) string {
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// snapshot folds the live counters into the JSON dump shape.
+func (m *metrics) snapshot(cache *lruCache, queueCap, workers int) *runstats.ServeStats {
+	s := &runstats.ServeStats{
+		UptimeMs:  float64(time.Since(m.start)) / float64(time.Millisecond),
+		Endpoints: map[string]runstats.EndpointStats{},
+	}
+	for ep, e := range m.endpoints {
+		e.mu.Lock()
+		reqs := make(map[string]int64, len(e.codes))
+		for c, n := range e.codes {
+			reqs[strconv.Itoa(c)] = n
+		}
+		e.mu.Unlock()
+		es := runstats.EndpointStats{
+			Requests: reqs,
+			SumMs:    float64(e.sumNs.Load()) / 1e6,
+			Count:    e.count.Load(),
+		}
+		if es.Count > 0 {
+			cum := int64(0)
+			for i, le := range latencyBuckets {
+				cum += e.buckets[i].Load()
+				es.LatencyMs = append(es.LatencyMs, runstats.BucketCount{LEMs: le * 1e3, Count: cum})
+			}
+			cum += e.buckets[len(latencyBuckets)].Load()
+			es.LatencyMs = append(es.LatencyMs, runstats.BucketCount{LEMs: -1, Count: cum})
+		}
+		s.Endpoints[ep] = es
+	}
+	s.Cache = runstats.CacheStats{
+		Hits:      m.cacheHits.Load(),
+		Misses:    m.cacheMisses.Load(),
+		Collapsed: m.cacheCollapsed.Load(),
+		Entries:   cache.len(),
+		Capacity:  cache.cap,
+	}
+	s.Queue = runstats.QueueStats{
+		Depth:    m.queueDepth.Load(),
+		Capacity: queueCap,
+		Workers:  workers,
+		Rejected: m.rejected.Load(),
+	}
+	s.Calibration.Hits, s.Calibration.Misses = calibrate.CacheStats()
+	return s
+}

@@ -1,0 +1,237 @@
+// Package serve exposes the copy-transfer cost model as a concurrent
+// HTTP/JSON service — the consumer-facing subsystem the paper's §2.1
+// compiler scenario implies: a scheduler or runtime queries
+// communication costs at planning time instead of linking the model.
+//
+// Endpoints:
+//
+//	POST /v1/eval    evaluate an expression / price an operation (query.Eval)
+//	POST /v1/price   simulate an operation end to end (query.Price)
+//	POST /v1/plan    derive + price an HPF redistribution (query.Plan)
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text exposition
+//	GET  /v1/stats   runstats.ServeStats JSON dump
+//
+// Production shape:
+//
+//   - Every answer is cached in a fingerprint-keyed LRU; repeated
+//     queries are O(map lookup). Identical queries in flight collapse
+//     onto one execution (singleflight), so a thundering herd on a cold
+//     calibrated rate table pays for one calibration.
+//   - Execution runs on a bounded worker pool behind a bounded queue.
+//     When the queue is full the server sheds load immediately: 429
+//     plus Retry-After, never an unbounded backlog.
+//   - Each request carries a deadline; a request that cannot be
+//     answered in time gets 504, though its computation still completes
+//     and warms the cache.
+//   - Shutdown drains: the HTTP server stops accepting, in-flight
+//     handlers finish (http.Server.Shutdown), then Close stops the
+//     workers.
+//
+// Determinism contract: the "text" field served for /v1/eval and
+// /v1/plan is byte-identical to cmd/ctmodel / cmd/hpfplan stdout for
+// the same inputs, because all three call the same internal/query
+// functions; golden tests on both sides enforce it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"ctcomm/internal/runstats"
+)
+
+// Config parameterizes a Server. The zero value selects production
+// defaults.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue rejects new work with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 4096 entries).
+	CacheEntries int
+	// RequestTimeout bounds one request end to end, queueing included
+	// (default 30s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// errOverloaded is returned by submit when the queue is full.
+var errOverloaded = errors.New("serve: queue full")
+
+// call is one singleflight execution; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+// job is one queued execution.
+type job struct {
+	key string
+	fn  func() (interface{}, error)
+	c   *call
+}
+
+// Server is the cost-query service. Create with New, mount Handler,
+// and Close after the HTTP server has shut down.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan job
+	workers sync.WaitGroup
+	cache   *lruCache
+	metrics *metrics
+
+	flightMu sync.Mutex
+	flight   map[string]*call
+
+	closeOnce sync.Once
+
+	// testHookJobStart, when set, runs on the worker goroutine before
+	// each job executes. Tests use it to hold workers busy and fill the
+	// queue deterministically.
+	testHookJobStart func()
+}
+
+// New starts a Server's worker pool and returns it. Callers must Close
+// it (after draining HTTP traffic) to stop the workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan job, cfg.QueueDepth),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flight:  map[string]*call{},
+		metrics: newMetrics([]string{"eval", "price", "plan", "healthz", "metrics", "stats"}),
+	}
+	s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool after all queued jobs have run. Call it
+// only once HTTP traffic has drained (http.Server.Shutdown returned):
+// submissions after Close panic by design, as sends on a closed
+// channel.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.queue)
+		s.workers.Wait()
+	})
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.metrics.queueDepth.Add(-1)
+		if h := s.testHookJobStart; h != nil {
+			h()
+		}
+		// Execute even when the submitting request already timed out:
+		// the result still warms the cache, and during shutdown the
+		// drain semantics are "queued work completes".
+		j.c.val, j.c.err = j.fn()
+		if j.c.err == nil {
+			s.cache.add(j.key, j.c.val)
+		}
+		s.flightMu.Lock()
+		delete(s.flight, j.key)
+		s.flightMu.Unlock()
+		close(j.c.done)
+	}
+}
+
+// do answers a query with caching, singleflight collapse and
+// admission control. cached reports whether the answer came from the
+// cache (or an in-flight leader) rather than a fresh execution.
+func (s *Server) do(ctx context.Context, key string, fn func() (interface{}, error)) (val interface{}, cached bool, err error) {
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return v, true, nil
+	}
+
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		// An identical query is already executing or queued: wait for
+		// its answer instead of queueing a duplicate.
+		s.flightMu.Unlock()
+		s.metrics.cacheCollapsed.Add(1)
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+	s.metrics.cacheMisses.Add(1)
+
+	select {
+	case s.queue <- job{key: key, fn: fn, c: c}:
+		s.metrics.queueDepth.Add(1)
+	default:
+		// Queue full: shed load now. Fail the flight entry so waiters
+		// that raced onto it see the rejection too.
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		c.err = errOverloaded
+		close(c.done)
+		s.metrics.rejected.Add(1)
+		return nil, false, errOverloaded
+	}
+
+	select {
+	case <-c.done:
+		return c.val, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// Snapshot returns the observability counters as a JSON-ready dump.
+func (s *Server) Snapshot() *runstats.ServeStats {
+	return s.metrics.snapshot(s.cache, s.cfg.QueueDepth, s.cfg.Workers)
+}
+
+// String describes the server configuration.
+func (s *Server) String() string {
+	return fmt.Sprintf("serve.Server{workers: %d, queue: %d, cache: %d, timeout: %s}",
+		s.cfg.Workers, s.cfg.QueueDepth, s.cfg.CacheEntries, s.cfg.RequestTimeout)
+}

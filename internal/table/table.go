@@ -89,18 +89,15 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// CSV writes the table as comma-separated values (header + rows).
+// CSV writes the table as comma-separated values (header + rows),
+// quoting per RFC 4180: a cell containing a comma, quote, or line
+// break is wrapped in double quotes with embedded quotes doubled, so
+// encoding/csv (and spreadsheets) read it back verbatim.
 func (t *Table) CSV(w io.Writer) error {
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return strconv.Quote(s)
-		}
-		return s
-	}
 	writeRow := func(r []string) error {
 		cells := make([]string, len(r))
 		for i, c := range r {
-			cells[i] = esc(c)
+			cells[i] = csvEscape(c)
 		}
 		_, err := fmt.Fprintln(w, strings.Join(cells, ","))
 		return err
@@ -114,6 +111,25 @@ func (t *Table) CSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// csvEscape quotes one CSV cell per RFC 4180 when needed.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// mdEscape makes one cell safe inside a markdown table row: pipes
+// would end the cell and raw line breaks would end the row, so escape
+// the former and fold the latter to <br>.
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "|", `\|`)
+	s = strings.ReplaceAll(s, "\r\n", "<br>")
+	s = strings.ReplaceAll(s, "\n", "<br>")
+	s = strings.ReplaceAll(s, "\r", "<br>")
+	return s
 }
 
 // F formats a throughput or ratio with one decimal.
@@ -175,7 +191,7 @@ func (t *Table) Markdown(w io.Writer) error {
 	row := func(cells []string) {
 		b.WriteString("|")
 		for _, c := range cells {
-			b.WriteString(" " + c + " |")
+			b.WriteString(" " + mdEscape(c) + " |")
 		}
 		b.WriteByte('\n')
 	}

@@ -2,6 +2,8 @@ package table
 
 import (
 	"bytes"
+	"encoding/csv"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -57,6 +59,75 @@ func TestCSV(t *testing.T) {
 	want := "a,b\n\"x,y\",plain\n"
 	if buf.String() != want {
 		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+// awkwardCells covers every character class the writers must escape:
+// commas, double quotes, pipes, and line breaks (both kinds).
+var awkwardCells = [][]string{
+	{"plain", "with,comma"},
+	{`say "hi"`, `comma, and "quote"`},
+	{"pipe|in|cell", "line\nbreak"},
+	{"crlf\r\nbreak", `""`},
+}
+
+// TestCSVRoundTrip feeds the CSV output back through encoding/csv and
+// requires every awkward cell to come back byte-identical (RFC 4180).
+func TestCSVRoundTrip(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	for _, r := range awkwardCells {
+		tab.AddRow(r...)
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not re-parse as CSV: %v", err)
+	}
+	// encoding/csv's reader normalizes \r\n to \n inside quoted fields
+	// (documented Reader behavior), so compare against that form.
+	want := [][]string{{"a", "b"}}
+	for _, r := range awkwardCells {
+		row := make([]string, len(r))
+		for j, c := range r {
+			row[j] = strings.ReplaceAll(c, "\r\n", "\n")
+		}
+		want = append(want, row)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestMarkdownEscaping checks that cell contents cannot break the
+// table structure: pipes are escaped and line breaks folded to <br>,
+// so every output line still has exactly the header's column count.
+func TestMarkdownEscaping(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	for _, r := range awkwardCells {
+		tab.AddRow(r...)
+	}
+	var buf bytes.Buffer
+	if err := tab.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`pipe\|in\|cell`, "line<br>break", "crlf<br>break"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	for i, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		// Unescaped pipes delimit cells; escaped ones do not count.
+		cells := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|") - 1
+		if cells != len(tab.Header) {
+			t.Errorf("line %d has %d cells, want %d: %q", i, cells, len(tab.Header), line)
+		}
 	}
 }
 

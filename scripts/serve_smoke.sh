@@ -1,0 +1,59 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end smoke test of cmd/ctserved over a real
+# socket, mirroring the CI serve-smoke job and `make serve-smoke`.
+#
+# It builds the server, starts it on an ephemeral port, exercises
+# /healthz, /v1/eval (twice, asserting the repeat is a cache hit),
+# /metrics, and /v1/stats, then sends SIGTERM and asserts a clean
+# drain (exit 0) plus a well-formed -stats JSON dump.
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-$(mktemp -d)}
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true' EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+$GO build -o "$OUT/ctserved" ./cmd/ctserved
+
+"$OUT/ctserved" -addr 127.0.0.1:0 -stats "$OUT/stats.json" >"$OUT/log" 2>&1 &
+PID=$!
+
+# Wait for the announced listen address.
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$OUT/log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { cat "$OUT/log" >&2; fail "server died at startup"; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "no listening line in log"
+echo "serve-smoke: server up at $ADDR"
+
+BASE="http://$ADDR"
+curl -fsS "$BASE/healthz" | grep -q ok || fail "/healthz not ok"
+
+BODY='{"machine":"t3d","expr":"1C64"}'
+R1=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/eval") || fail "first /v1/eval"
+R2=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/eval") || fail "second /v1/eval"
+[ "$R1" = "$R2" ] || fail "repeated eval not byte-identical"
+echo "$R1" | grep -q '"mbps"' || fail "eval response missing mbps: $R1"
+
+METRICS=$(curl -fsS "$BASE/metrics") || fail "/metrics"
+echo "$METRICS" | grep -q '^ctserved_cache_misses_total 1$' \
+    || fail "expected exactly 1 cache miss; got: $(echo "$METRICS" | grep cache)"
+HITS=$(echo "$METRICS" | sed -n 's/^ctserved_cache_hits_total \([0-9]*\)$/\1/p')
+[ "${HITS:-0}" -ge 1 ] || fail "expected >= 1 cache hit, got '$HITS'"
+echo "serve-smoke: cache hit on repeat confirmed ($HITS hits, 1 miss)"
+
+curl -fsS "$BASE/v1/stats" | grep -q '"endpoints"' || fail "/v1/stats dump malformed"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+CODE=0
+wait "$PID" || CODE=$?
+trap - EXIT
+[ "$CODE" -eq 0 ] || { cat "$OUT/log" >&2; fail "exit code $CODE after SIGTERM, want 0"; }
+grep -q "drained" "$OUT/log" || fail "no drain confirmation in log"
+grep -q '"endpoints"' "$OUT/stats.json" || fail "stats dump missing endpoints"
+echo "serve-smoke: PASS (clean drain, stats dump written)"
