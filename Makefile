@@ -4,7 +4,7 @@ GO ?= go
 J ?= 4
 CIOUT ?= ci-out
 
-.PHONY: all build test test-short bench bench-hotpath bench-serve experiments fuzz fuzz-smoke gofmt-check race serve-smoke ci clean
+.PHONY: all build test test-short bench bench-hotpath bench-serve sweep-bench experiments fuzz fuzz-smoke gofmt-check race serve-smoke ci clean
 
 all: build test
 
@@ -32,6 +32,11 @@ bench-hotpath:
 bench-serve:
 	$(GO) test -bench 'BenchmarkServe' -benchmem ./internal/serve/
 
+# Batched-sweep benchmarks through the /v1/sweep NDJSON handler: warm
+# (every cell a cache hit) and cold (cache cleared per iteration).
+sweep-bench:
+	$(GO) test -bench 'BenchmarkSweep' -benchmem ./internal/serve/
+
 experiments:
 	$(GO) run ./cmd/experiments -check -j $(J)
 
@@ -45,12 +50,14 @@ fuzz:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 15s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 15s ./internal/pattern/
+	$(GO) test -fuzz 'FuzzStreamOps$$' -fuzztime 30s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 30s ./internal/memsim/
 
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 10s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 10s ./internal/pattern/
+	$(GO) test -fuzz 'FuzzStreamOps$$' -fuzztime 10s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 10s ./internal/memsim/
 
 gofmt-check:

@@ -7,17 +7,28 @@
 //	ctmodel -machine paragon -rates calibrated -op 1Q64
 //	ctmodel -machine t3d -op wQw -congestion 4
 //	ctmodel -machine t3d -rates paper -list
+//	ctmodel -sweep spec.json -format csv
 //
 // With -op xQy both the buffer-packing and chained estimates of the
 // communication operation are printed; with -expr a single expression
-// is evaluated; -list prints the rate table itself.
+// is evaluated; -list prints the rate table itself. With -sweep a JSON
+// grid spec ("-" for stdin) expands to a batch of queries executed
+// concurrently (-j bounds the parallelism), rendered as a table in the
+// -format of choice (text, csv or markdown).
 //
 // The evaluation itself lives in internal/query, which the ctserved
 // HTTP service shares: a served /v1/eval answer is byte-identical to
-// this command's stdout for the same inputs (see TestRunMatchesQuery).
+// this command's stdout for the same inputs (see TestRunMatchesQuery),
+// and a /v1/sweep cell is the same answer a -sweep cell renders.
+//
+// Exit codes: 0 success, 1 execution failure, 2 usage error (bad
+// flags, malformed spec, unknown machine or rate table).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,16 +36,23 @@ import (
 
 	"ctcomm/internal/machine"
 	"ctcomm/internal/query"
+	"ctcomm/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctmodel:", err)
-		os.Exit(1)
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// run executes one invocation and returns the process exit code: 0 on
+// success, 2 for usage errors (flag mistakes and query.ErrBadRequest),
+// 1 for execution failures.
+func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ctmodel", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -45,9 +63,19 @@ func run(args []string, out io.Writer) error {
 		opFlag      = fs.String("op", "", "communication operation xQy, e.g. 1Q64 or wQw")
 		congFlag    = fs.Float64("congestion", 0, "network congestion factor (0 = machine default)")
 		listFlag    = fs.Bool("list", false, "print the rate table and exit")
+		sweepFlag   = fs.String("sweep", "", `JSON sweep spec file ("-" for stdin)`)
+		formatFlag  = fs.String("format", "text", "sweep output format: text, csv or markdown")
+		jFlag       = fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, nil
+		}
+		return 2, nil // the FlagSet already printed the message + usage
+	}
+
+	if *sweepFlag != "" {
+		return runSweep(*sweepFlag, *formatFlag, *jFlag, out)
 	}
 
 	req := query.EvalRequest{
@@ -61,19 +89,78 @@ func run(args []string, out io.Writer) error {
 	if *machineFile != "" {
 		m, err := machine.LoadFile(*machineFile)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		req.M = m
 	}
 	if !req.List && req.Expr == "" && req.Op == "" {
 		fs.Usage()
-		return fmt.Errorf("one of -expr, -op or -list is required")
+		return 2, fmt.Errorf("one of -expr, -op, -list or -sweep is required")
 	}
 
 	resp, err := query.Eval(req)
 	if err != nil {
-		return err
+		if errors.Is(err, query.ErrBadRequest) {
+			return 2, err
+		}
+		return 1, err
 	}
-	_, err = io.WriteString(out, resp.Text)
-	return err
+	if _, err := io.WriteString(out, resp.Text); err != nil {
+		return 1, err
+	}
+	return 0, nil
+}
+
+// runSweep executes a -sweep invocation: parse the spec, run the grid
+// through the shared sweep engine, render via internal/table.
+func runSweep(specPath, format string, workers int, out io.Writer) (int, error) {
+	if workers < 0 {
+		return 2, fmt.Errorf("-j must be non-negative, got %d", workers)
+	}
+	var src io.Reader
+	if specPath == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		src = f
+	}
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+	var spec sweep.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return 2, fmt.Errorf("%w: invalid sweep spec: %v", query.ErrBadRequest, err)
+	}
+
+	var rows []sweep.Row
+	stats, err := sweep.Execute(context.Background(), spec, sweep.Options{Workers: workers},
+		func(r sweep.Row) error {
+			rows = append(rows, r)
+			return nil
+		})
+	if err != nil {
+		if errors.Is(err, query.ErrBadRequest) {
+			return 2, err
+		}
+		return 1, err
+	}
+
+	t := sweep.Table(spec, rows, stats)
+	switch format {
+	case "text", "":
+		err = t.Render(out)
+	case "csv":
+		err = t.CSV(out)
+	case "markdown", "md":
+		err = t.Markdown(out)
+	default:
+		return 2, fmt.Errorf("unknown -format %q (want text, csv or markdown)", format)
+	}
+	if err != nil {
+		return 1, err
+	}
+	return 0, nil
 }

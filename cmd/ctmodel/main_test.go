@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -9,9 +11,9 @@ import (
 
 func TestRunExpr(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-machine", "t3d", "-expr", "1C1 o (1S0 || Nd || 0D1) o 1C64"}, &out)
-	if err != nil {
-		t.Fatal(err)
+	code, err := run([]string{"-machine", "t3d", "-expr", "1C1 o (1S0 || Nd || 0D1) o 1C64"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
 	}
 	if !strings.Contains(out.String(), "25.0 MB/s") {
 		t.Errorf("expected the paper's 25.0 MB/s estimate, got %q", out.String())
@@ -20,8 +22,8 @@ func TestRunExpr(t *testing.T) {
 
 func TestRunOp(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-machine", "t3d", "-op", "1Q64"}, &out); err != nil {
-		t.Fatal(err)
+	if code, err := run([]string{"-machine", "t3d", "-op", "1Q64"}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
 	}
 	s := out.String()
 	if !strings.Contains(s, "buffer-packing") || !strings.Contains(s, "chained") {
@@ -34,8 +36,8 @@ func TestRunOpUnchainable(t *testing.T) {
 	// A Paragon without its co-processor cannot chain strided scatters;
 	// the -op path must report that, which we reach via an op the stock
 	// Paragon can chain (sanity) and validate parse errors separately.
-	if err := run([]string{"-machine", "paragon", "-op", "wQw"}, &out); err != nil {
-		t.Fatal(err)
+	if code, err := run([]string{"-machine", "paragon", "-op", "wQw"}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
 	}
 	if !strings.Contains(out.String(), "chained") {
 		t.Errorf("missing chained line: %q", out.String())
@@ -44,8 +46,8 @@ func TestRunOpUnchainable(t *testing.T) {
 
 func TestRunList(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-machine", "paragon", "-list"}, &out); err != nil {
-		t.Fatal(err)
+	if code, err := run([]string{"-machine", "paragon", "-list"}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
 	}
 	for _, want := range []string{"1F0", "0R64", "rate table"} {
 		if !strings.Contains(out.String(), want) {
@@ -54,6 +56,9 @@ func TestRunList(t *testing.T) {
 	}
 }
 
+// TestRunErrors pins the exit-code contract: usage errors (unknown
+// machine or rate table, malformed expression or operation, missing
+// query) exit 2, never 1.
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	cases := [][]string{
@@ -66,8 +71,27 @@ func TestRunErrors(t *testing.T) {
 		{"-machine", "t3d"},
 	}
 	for _, args := range cases {
-		if err := run(args, &out); err == nil {
+		code, err := run(args, &out)
+		if err == nil {
 			t.Errorf("run(%v) should fail", args)
+		}
+		if code != 2 {
+			t.Errorf("run(%v) exit code = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunUnknownMachineListsNames: the error for a typo'd machine name
+// must name the valid spellings, not leave the user guessing.
+func TestRunUnknownMachineListsNames(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-machine", "cm5", "-op", "1Q1"}, &out)
+	if code != 2 || err == nil {
+		t.Fatalf("code %d, err %v; want 2 with error", code, err)
+	}
+	for _, want := range []string{"t3d", "paragon"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list machine %q", err, want)
 		}
 	}
 }
@@ -100,8 +124,8 @@ func TestRunMatchesQuery(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out strings.Builder
-		if err := run(c.args, &out); err != nil {
-			t.Fatalf("run(%v): %v", c.args, err)
+		if code, err := run(c.args, &out); err != nil || code != 0 {
+			t.Fatalf("run(%v): code %d, err %v", c.args, code, err)
 		}
 		resp, err := query.Eval(c.req)
 		if err != nil {
@@ -111,5 +135,106 @@ func TestRunMatchesQuery(t *testing.T) {
 			t.Errorf("run(%v) stdout differs from query text:\n--- cli\n%s\n--- query\n%s",
 				c.args, out.String(), resp.Text)
 		}
+	}
+}
+
+// writeSpec drops a sweep spec JSON file into a temp dir.
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunSweepText(t *testing.T) {
+	p := writeSpec(t, `{"kind":"price","machines":["t3d","paragon"],"ops":["1Q64"],"styles":["buffer-packing","chained"],"words":[1024]}`)
+	var out strings.Builder
+	if code, err := run([]string{"-sweep", p}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d, err %v\n%s", code, err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "sweep price: 4 cells") {
+		t.Errorf("missing title in %q", s)
+	}
+	for _, want := range []string{"T3D", "Paragon", "buffer-packing", "chained", "1Q64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSweepCSVAndMarkdown(t *testing.T) {
+	p := writeSpec(t, `{"kind":"price","machines":["t3d"],"ops":["1Q64"],"styles":["buffer-packing"],"words":[256,1024]}`)
+	var csv, md strings.Builder
+	if code, err := run([]string{"-sweep", p, "-format", "csv"}, &csv); err != nil || code != 0 {
+		t.Fatalf("csv: code %d, err %v", code, err)
+	}
+	if !strings.HasPrefix(csv.String(), "machine,style,op,words,cong,MB/s,us,note\n") {
+		t.Errorf("csv header wrong:\n%s", csv.String())
+	}
+	if got := strings.Count(strings.TrimSpace(csv.String()), "\n"); got != 2 {
+		t.Errorf("csv should have 2 data rows, got %d:\n%s", got, csv.String())
+	}
+	if code, err := run([]string{"-sweep", p, "-format", "markdown"}, &md); err != nil || code != 0 {
+		t.Fatalf("markdown: code %d, err %v", code, err)
+	}
+	if !strings.Contains(md.String(), "| machine |") || !strings.Contains(md.String(), "| --- |") {
+		t.Errorf("markdown shape wrong:\n%s", md.String())
+	}
+}
+
+// TestRunSweepMatchesPointQueries: every -sweep cell must carry the
+// same answer the equivalent point query returns (one result path).
+func TestRunSweepMatchesPointQueries(t *testing.T) {
+	p := writeSpec(t, `{"kind":"eval","machines":["t3d","paragon"],"ops":["1Q64","wQw"]}`)
+	var out strings.Builder
+	if code, err := run([]string{"-sweep", p, "-format", "csv"}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
+	}
+	// The rendered table folds the same responses the point queries
+	// return; spot-check one cell's MB/s against query.Eval directly.
+	resp, err := query.Eval(query.EvalRequest{Machine: "t3d", Op: "1Q64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Packed == nil {
+		t.Fatal("point query returned no packed estimate")
+	}
+	if !strings.Contains(out.String(), "T3D") {
+		t.Errorf("sweep output missing machine row:\n%s", out.String())
+	}
+}
+
+// TestRunSweepBadSpec: malformed specs are usage errors (exit 2), and
+// a sweep with one bad cell still renders the others (exit 0).
+func TestRunSweepBadSpec(t *testing.T) {
+	var out strings.Builder
+	if code, _ := run([]string{"-sweep", writeSpec(t, `{"kind":"nope"}`)}, &out); code != 2 {
+		t.Errorf("unknown kind: exit %d, want 2", code)
+	}
+	if code, _ := run([]string{"-sweep", writeSpec(t, `{not json`)}, &out); code != 2 {
+		t.Errorf("bad JSON: exit %d, want 2", code)
+	}
+	if code, _ := run([]string{"-sweep", writeSpec(t, `{"kind":"price","ops":["1Q1"],"styles":["x"]}`), "-j", "-1"}, &out); code != 2 {
+		t.Errorf("-j -1: exit %d, want 2", code)
+	}
+
+	out.Reset()
+	p := writeSpec(t, `{"kind":"price","machines":["t3d","cm5"],"ops":["1Q64"],"styles":["buffer-packing"]}`)
+	code, err := run([]string{"-sweep", p}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("partial failure should still succeed: code %d, err %v", code, err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "1 failed") {
+		t.Errorf("title should count the failed cell:\n%s", s)
+	}
+	if !strings.Contains(s, "unknown machine") {
+		t.Errorf("error row missing:\n%s", s)
+	}
+	if !strings.Contains(s, "T3D") {
+		t.Errorf("good cell missing:\n%s", s)
 	}
 }

@@ -51,6 +51,7 @@ func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
 		workersFlag = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		queueFlag   = fs.Int("queue", 64, "admission-control queue depth")
 		cacheFlag   = fs.Int("cache", 4096, "result-cache entries")
+		cacheBFlag  = fs.Int64("cache-bytes", 64<<20, "result-cache byte budget (approximate)")
 		timeoutFlag = fs.Duration("timeout", 30*time.Second, "per-request deadline")
 		drainFlag   = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 		statsFlag   = fs.String("stats", "", "file to write final observability counters to as JSON")
@@ -58,14 +59,15 @@ func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	if *queueFlag <= 0 || *cacheFlag < 0 || *workersFlag < 0 {
-		return 2, fmt.Errorf("-queue must be positive and -cache/-workers non-negative")
+	if *queueFlag <= 0 || *cacheFlag < 0 || *workersFlag < 0 || *cacheBFlag < 0 {
+		return 2, fmt.Errorf("-queue must be positive and -cache/-cache-bytes/-workers non-negative")
 	}
 
 	s := serve.New(serve.Config{
 		Workers:        *workersFlag,
 		QueueDepth:     *queueFlag,
 		CacheEntries:   *cacheFlag,
+		CacheBytes:     *cacheBFlag,
 		RequestTimeout: *timeoutFlag,
 	})
 

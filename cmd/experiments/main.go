@@ -39,8 +39,9 @@ import (
 func main() {
 	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
+		// run pairs every error with its exit code: 2 for usage errors
+		// (bad flags, unknown ids), 1 for execution failures.
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
 	}
 	os.Exit(code)
 }
@@ -65,6 +66,10 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *jFlag <= 0 {
+		fs.Usage()
+		return 2, fmt.Errorf("-j must be positive, got %d", *jFlag)
 	}
 
 	if *cpuFlag != "" {

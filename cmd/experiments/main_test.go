@@ -50,6 +50,26 @@ func TestRunUnknownID(t *testing.T) {
 	}
 }
 
+// TestRunBadJ pins the -j validation: zero or negative worker counts
+// are usage errors (exit 2 with a message naming the value), mirroring
+// how a bad -only id is reported.
+func TestRunBadJ(t *testing.T) {
+	for _, j := range []string{"0", "-1", "-8"} {
+		var out strings.Builder
+		code, err := run([]string{"-quick", "-only", "tab4", "-j", j}, &out, io.Discard)
+		if err == nil || code != 2 {
+			t.Errorf("-j %s: code=%d err=%v, want code 2 with error", j, code, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), j) {
+			t.Errorf("-j %s: error %q does not name the bad value", j, err)
+		}
+		if !strings.Contains(out.String(), "Usage") && !strings.Contains(out.String(), "-j") {
+			t.Errorf("-j %s: usage not printed:\n%s", j, out.String())
+		}
+	}
+}
+
 // The parallel runner must produce byte-identical stdout to the serial
 // path, in the same order.
 func TestRunParallelOutputMatchesSerial(t *testing.T) {

@@ -6,6 +6,8 @@ package ctcomm
 // packages the same way the core facade in ctcomm.go does.
 
 import (
+	"context"
+
 	"ctcomm/internal/aapc"
 	"ctcomm/internal/apps"
 	"ctcomm/internal/comm"
@@ -13,6 +15,7 @@ import (
 	"ctcomm/internal/distrib"
 	"ctcomm/internal/pattern"
 	"ctcomm/internal/query"
+	"ctcomm/internal/sweep"
 	"ctcomm/internal/syncsim"
 	"ctcomm/internal/trace"
 )
@@ -197,6 +200,34 @@ func ParseStyle(name string) (Style, error) { return comm.ParseStyle(name) }
 // ("cray", "intel", ...). Unlike MachineByName it reports unknown
 // names as an error instead of nil.
 func ResolveMachine(name string) (*Machine, error) { return query.ResolveMachine(name) }
+
+// SweepQuery is a compact grid of queries (machines x operations x
+// styles x sizes) for batched evaluation (ctmodel -sweep /
+// POST /v1/sweep).
+type SweepQuery = sweep.Spec
+
+// SweepRow is one per-cell sweep result: the request echo plus either
+// the point-query answer or the cell's error.
+type SweepRow = sweep.Row
+
+// SweepStats summarizes an executed sweep.
+type SweepStats = sweep.Stats
+
+// Sweep expands and runs a SweepQuery, returning one row per cell in
+// grid order. An invalid cell yields a row with Err set and the sweep
+// continues; only a malformed spec fails as a whole. Each cell's
+// answer is identical to the corresponding Eval/Price/Plan call.
+func Sweep(q SweepQuery) ([]SweepRow, SweepStats, error) {
+	var rows []SweepRow
+	stats, err := sweep.Execute(context.Background(), q, sweep.Options{}, func(r SweepRow) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return rows, stats, nil
+}
 
 // --- MPI-style derived datatypes -----------------------------------------
 

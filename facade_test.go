@@ -218,3 +218,44 @@ func TestFacadeQuerySurface(t *testing.T) {
 		t.Error("unknown machine should fail")
 	}
 }
+
+func TestFacadeSweep(t *testing.T) {
+	rows, stats, err := ctcomm.Sweep(ctcomm.SweepQuery{
+		Kind:     "eval",
+		Machines: []string{"t3d", "paragon"},
+		Ops:      []string{"1Q64", "1Q64"}, // duplicate op: second cell memoized
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cells != 4 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Cached == 0 {
+		t.Errorf("duplicate cells not memoized: %+v", stats)
+	}
+	for i, r := range rows {
+		if r.Index != i || r.Eval == nil || r.Err != "" {
+			t.Errorf("row %d = %+v", i, r)
+		}
+		// One result path: each cell equals the point query's answer.
+		want, err := ctcomm.Eval(*r.EvalReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Eval.Text != want.Text {
+			t.Errorf("row %d text differs from Eval", i)
+		}
+	}
+
+	// A malformed spec fails whole; a bad cell does not.
+	if _, _, err := ctcomm.Sweep(ctcomm.SweepQuery{Kind: "nope"}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	rows, stats, err = ctcomm.Sweep(ctcomm.SweepQuery{
+		Kind: "eval", Machines: []string{"t3d", "cm5"}, Ops: []string{"1Q64"},
+	})
+	if err != nil || stats.Failed != 1 || len(rows) != 2 {
+		t.Errorf("partial failure: rows=%d stats=%+v err=%v", len(rows), stats, err)
+	}
+}

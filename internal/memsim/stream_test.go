@@ -217,11 +217,16 @@ func TestRunStreamAllocFree(t *testing.T) {
 
 // FuzzStreamEquivalence drives RunStream against the slice path with
 // fuzz-chosen shapes; any divergence in any Result field is a failure.
+// The mangle selector additionally perturbs the streams with
+// Skip/Next/Peek (boundary counts included: zero, negative, past the
+// end) before the run; RunStream resets its streams, so pre-existing
+// stream state must never leak into the result.
 func FuzzStreamEquivalence(f *testing.F) {
-	f.Add(uint8(0), uint8(0), uint16(512), uint8(0), false)
-	f.Add(uint8(1), uint8(2), uint16(4096), uint8(3), true)
-	f.Add(uint8(3), uint8(1), uint16(1000), uint8(7), false)
-	f.Fuzz(func(t *testing.T, loadSel, storeSel uint8, words16 uint16, cfgSel uint8, loadsFirst bool) {
+	f.Add(uint8(0), uint8(0), uint16(512), uint8(0), false, uint8(0))
+	f.Add(uint8(1), uint8(2), uint16(4096), uint8(3), true, uint8(7))
+	f.Add(uint8(3), uint8(1), uint16(1000), uint8(7), false, uint8(29))
+	f.Add(uint8(5), uint8(5), uint16(64), uint8(1), false, uint8(255))
+	f.Fuzz(func(t *testing.T, loadSel, storeSel uint8, words16 uint16, cfgSel uint8, loadsFirst bool, mangle uint8) {
 		specs := []pattern.Spec{
 			pattern.Contig(), pattern.Strided(3), pattern.Strided(64),
 			pattern.StridedBlock(64, 2), pattern.StridedBlock(5, 3), pattern.Indexed(),
@@ -274,6 +279,27 @@ func FuzzStreamEquivalence(f *testing.F) {
 			}
 		}
 		ref := MustNew(cfg).Run(acc)
+
+		// Perturb stream positions before the run (Accesses above left
+		// both streams reset); RunStream must reset them itself, so none
+		// of this state may leak into the result.
+		for i, st := range []*pattern.Stream{ls, ss} {
+			bits := mangle >> (uint(i) * 4)
+			if bits&1 != 0 {
+				st.Skip(int(bits >> 1)) // includes Skip(0)
+			}
+			if bits&2 != 0 {
+				st.Next()
+				st.Peek()
+			}
+			if bits&4 != 0 {
+				st.Skip(-3) // must not rewind
+			}
+			if bits&8 != 0 {
+				st.Skip(words + 17) // past the end
+			}
+		}
+
 		got := MustNew(cfg).RunStream(ls, ss, policy)
 		if got != ref {
 			t.Fatalf("%s %v->%v words=%d policy=%d:\nRunStream %+v\nRun       %+v",

@@ -1,6 +1,9 @@
 package pattern
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // FuzzParseSpec: the pattern parser must never panic and accepted specs
 // must round-trip through String.
@@ -16,6 +19,108 @@ func FuzzParseSpec(f *testing.F) {
 		back, err := ParseSpec(s.String())
 		if err != nil || back != s {
 			t.Fatalf("spec round trip failed: %q -> %v -> %v (%v)", text, s, back, err)
+		}
+	})
+}
+
+// FuzzStreamOps drives a Stream through fuzz-chosen sequences of
+// Next/Peek/NextAddr/Skip/Reset and checks every step against a
+// minimal reference model of the stream contract. It pins the boundary
+// behavior: zero-length streams, Skip(0), Skip of negative counts
+// (must not rewind or re-arm an emitted overhead load), Skip past the
+// end, and Skip by counts large enough to overflow a naive position
+// addition.
+func FuzzStreamOps(f *testing.F) {
+	f.Add(uint8(0), uint16(0), false, []byte{0, 1, 2, 3})
+	f.Add(uint8(3), uint16(7), false, []byte{0, 0x43, 0, 4, 0, 0x85})
+	f.Add(uint8(5), uint16(64), true, []byte{0, 0x45, 1, 0, 0x86, 2})
+	f.Add(uint8(5), uint16(9), false, []byte{0, 5, 0, 6, 0}) // Skip(0) / Skip(huge) after an overhead load
+	f.Fuzz(func(t *testing.T, specSel uint8, words16 uint16, noOverhead bool, ops []byte) {
+		specs := []Spec{
+			Fixed(), Contig(), Strided(3), Strided(64),
+			StridedBlock(64, 2), Indexed(),
+		}
+		spec := specs[int(specSel)%len(specs)]
+		words := int(words16 % 2048)
+		st := NewStream(spec, 1<<20, words)
+		indexed := spec.Kind() == KindIndexed
+		if indexed {
+			st.WithIndex(Permutation(words, 42))
+		}
+		if noOverhead {
+			st.NoIndexOverhead()
+		}
+		// payload is the ground-truth address sequence.
+		payload := st.Addresses()
+
+		// Reference model: pos counts payload words consumed, odDone
+		// mirrors whether the overhead load preceding payload word pos
+		// was emitted. Overhead loads precede even payload words of
+		// indexed streams (one 64-bit index word per two entries).
+		pos, odDone := 0, false
+		overheadAt := func(p int) int64 { return IndexBase + int64(p/2)*WordBytes }
+		pendingOverhead := func() bool {
+			return indexed && !noOverhead && pos < words && pos%2 == 0 && !odDone
+		}
+		check := func(op string, cond bool, got, want interface{}) {
+			if !cond {
+				t.Fatalf("%s at pos=%d words=%d spec=%v: got %v, want %v", op, pos, words, spec, got, want)
+			}
+		}
+
+		for _, op := range ops {
+			if rem := st.Remaining(); rem != words-pos || rem < 0 || rem > words {
+				t.Fatalf("Remaining=%d, want %d (words=%d)", rem, words-pos, words)
+			}
+			switch op & 0x07 {
+			case 0: // Next
+				a, ok := st.Next()
+				check("Next ok", ok == (pos < words), ok, pos < words)
+				if !ok {
+					continue
+				}
+				if pendingOverhead() {
+					check("Next overhead", a.Overhead && a.Addr == overheadAt(pos), a, overheadAt(pos))
+					odDone = true
+				} else {
+					check("Next payload", !a.Overhead && a.Addr == payload[pos], a, payload[pos])
+					pos, odDone = pos+1, false
+				}
+			case 1: // Peek must not consume
+				a, ok := st.Peek()
+				check("Peek ok", ok == (pos < words), ok, pos < words)
+				if ok {
+					if pendingOverhead() {
+						check("Peek overhead", a.Overhead && a.Addr == overheadAt(pos), a, overheadAt(pos))
+					} else {
+						check("Peek payload", !a.Overhead && a.Addr == payload[pos], a, payload[pos])
+					}
+				}
+				check("Peek remaining", st.Remaining() == words-pos, st.Remaining(), words-pos)
+			case 2: // NextAddr skips overhead interleaving entirely
+				addr, ok := st.NextAddr()
+				check("NextAddr ok", ok == (pos < words), ok, pos < words)
+				if ok {
+					check("NextAddr", addr == payload[pos], addr, payload[pos])
+					pos, odDone = pos+1, false
+				}
+			case 3: // Skip by a small fuzz-chosen count
+				n := int(op >> 3)
+				st.Skip(n)
+				if n > 0 {
+					pos, odDone = min(pos+n, words), false
+				}
+			case 4: // Reset
+				st.Reset()
+				pos, odDone = 0, false
+			case 5: // Skip of a negative count is a no-op
+				st.Skip(-int(op>>3) - 1)
+			case 6: // Skip far past the end (would overflow pos += n)
+				st.Skip(math.MaxInt - 1)
+				pos, odDone = words, false
+			case 7: // Skip(0) is a no-op too
+				st.Skip(0)
+			}
 		}
 	})
 }

@@ -84,10 +84,17 @@ func (st *Stream) Reset() {
 
 // Skip advances the stream by n payload words without generating their
 // accesses (the fast-forward machinery extrapolates their effect).
+// Non-positive n is a no-op — in particular it must not rewind the
+// position or re-arm an already-emitted index-overhead load — and n
+// past the end clamps to the end without overflowing the position.
 func (st *Stream) Skip(n int) {
-	st.pos += n
-	if st.pos > st.words {
+	if n <= 0 {
+		return
+	}
+	if rem := st.words - st.pos; n >= rem {
 		st.pos = st.words
+	} else {
+		st.pos += n
 	}
 	st.overheadDone = false
 }

@@ -50,7 +50,22 @@ func ResolveMachine(name string) (*machine.Machine, error) {
 	if m := machine.ByName(name); m != nil {
 		return m, nil
 	}
-	return nil, badf("unknown machine %q (want t3d or paragon)", name)
+	return nil, badf("unknown machine %q (valid names: %s)", name, validMachineNames())
+}
+
+// validMachineNames lists every accepted machine spelling: the short
+// alias of each built-in profile plus its exact profile name — so the
+// "unknown machine" error tells the user what to type instead.
+func validMachineNames() string {
+	aliases := map[string]string{"Cray T3D": "t3d", "Intel Paragon": "paragon"}
+	var names []string
+	for _, m := range machine.Profiles() {
+		if a, ok := aliases[m.Name]; ok {
+			names = append(names, a)
+		}
+		names = append(names, strconv.Quote(m.Name))
+	}
+	return strings.Join(names, ", ")
 }
 
 // ParseOp splits an xQy operation label such as "1Q64" or "wQw".

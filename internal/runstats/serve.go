@@ -40,6 +40,17 @@ type CacheStats struct {
 	Collapsed int64 `json:"collapsed"` // singleflight waiters served by a leader's miss
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
+	// Bytes is the approximate resident size of all entries;
+	// ByteCapacity is the eviction budget (0 = unbounded).
+	Bytes        int64 `json:"bytes"`
+	ByteCapacity int64 `json:"byte_capacity"`
+}
+
+// SweepStats reports /v1/sweep cell traffic across all sweeps.
+type SweepStats struct {
+	Cells  int64 `json:"cells"`  // rows streamed, error rows included
+	Cached int64 `json:"cached"` // cells answered from the result cache
+	Failed int64 `json:"failed"` // cells that produced an error row
 }
 
 // QueueStats reports worker-pool admission control.
@@ -62,6 +73,7 @@ type ServeStats struct {
 	UptimeMs    float64                  `json:"uptime_ms"`
 	Endpoints   map[string]EndpointStats `json:"endpoints"`
 	Cache       CacheStats               `json:"cache"`
+	Sweep       SweepStats               `json:"sweep"`
 	Queue       QueueStats               `json:"queue"`
 	Calibration CalibrationStats         `json:"calibration"`
 }

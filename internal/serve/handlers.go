@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ctcomm/internal/query"
+	"ctcomm/internal/sweep"
 )
 
 // maxBodyBytes bounds a request body; cost queries are tiny.
@@ -24,6 +25,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/eval", s.instrument("eval", s.handleEval))
 	s.mux.HandleFunc("/v1/price", s.instrument("price", s.handlePrice))
 	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
@@ -158,6 +160,78 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, val)
+}
+
+// sweepSummary is the terminal NDJSON line of a /v1/sweep stream: the
+// client knows the sweep finished (and whether it was cut short) by
+// seeing done=true.
+type sweepSummary struct {
+	Done   bool   `json:"done"`
+	Cells  int    `json:"cells"`
+	Cached int    `json:"cached"`
+	Failed int    `json:"failed"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleSweep answers POST /v1/sweep: a batched grid of queries,
+// sharded in chunks across the worker pool, streamed back as one
+// NDJSON row per cell (in cell-index order) plus a terminal summary
+// line. Cells reuse the fingerprint LRU, so overlapping sweeps — and
+// sweeps overlapping point queries — are mostly cache hits. A bad cell
+// yields an error row, never an aborted sweep; only a malformed spec
+// (unknown kind, oversized grid) is rejected whole, with 400, before
+// any row is streamed. The request deadline applies to the whole
+// sweep: on expiry the stream ends with a summary row carrying the
+// error, and during graceful drain an in-flight sweep keeps streaming
+// until done (bounded by the drain timeout).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var spec sweep.Spec
+	if err := decodeBody(w, r, &spec); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cells, err := sweep.Expand(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // one compact JSON object per line
+	emit := func(row sweep.Row) error {
+		s.metrics.sweepCells.Add(1)
+		switch {
+		case row.Err != "":
+			s.metrics.sweepFailed.Add(1)
+		case row.Cached:
+			s.metrics.sweepCached.Add(1)
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	stats, err := sweep.Run(r.Context(), cells, sweep.Options{
+		Workers: s.cfg.Workers,
+		Runner:  s.sweepCell,
+		Submit:  s.submitChunk,
+	}, emit)
+	sum := sweepSummary{Done: true, Cells: stats.Cells, Cached: stats.Cached, Failed: stats.Failed}
+	if err != nil {
+		sum.Error = err.Error()
+	}
+	_ = enc.Encode(sum) // best effort: the client may be gone
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -58,6 +58,10 @@ type metrics struct {
 	queueDepth atomic.Int64
 	rejected   atomic.Int64
 	inflight   atomic.Int64
+
+	sweepCells  atomic.Int64
+	sweepCached atomic.Int64
+	sweepFailed atomic.Int64
 }
 
 func newMetrics(endpoints []string) *metrics {
@@ -145,6 +149,22 @@ func (m *metrics) writePrometheus(w io.Writer, cache *lruCache, queueCap, worker
 	appendf("# HELP ctserved_cache_entries Result-cache entries resident.\n")
 	appendf("# TYPE ctserved_cache_entries gauge\n")
 	appendf("ctserved_cache_entries %d\n", cache.len())
+	appendf("# HELP ctserved_cache_bytes Approximate resident size of the result cache.\n")
+	appendf("# TYPE ctserved_cache_bytes gauge\n")
+	appendf("ctserved_cache_bytes %d\n", cache.residentBytes())
+	appendf("# HELP ctserved_cache_bytes_capacity Result-cache byte budget (0 = unbounded).\n")
+	appendf("# TYPE ctserved_cache_bytes_capacity gauge\n")
+	appendf("ctserved_cache_bytes_capacity %d\n", cache.maxBytes)
+
+	appendf("# HELP ctserved_sweep_cells_total Sweep cells streamed (rows emitted, error rows included).\n")
+	appendf("# TYPE ctserved_sweep_cells_total counter\n")
+	appendf("ctserved_sweep_cells_total %d\n", m.sweepCells.Load())
+	appendf("# HELP ctserved_sweep_cells_cached_total Sweep cells answered from the result cache.\n")
+	appendf("# TYPE ctserved_sweep_cells_cached_total counter\n")
+	appendf("ctserved_sweep_cells_cached_total %d\n", m.sweepCached.Load())
+	appendf("# HELP ctserved_sweep_cells_failed_total Sweep cells that produced an error row.\n")
+	appendf("# TYPE ctserved_sweep_cells_failed_total counter\n")
+	appendf("ctserved_sweep_cells_failed_total %d\n", m.sweepFailed.Load())
 
 	appendf("# HELP ctserved_queue_depth Jobs waiting for a worker.\n")
 	appendf("# TYPE ctserved_queue_depth gauge\n")
@@ -210,11 +230,18 @@ func (m *metrics) snapshot(cache *lruCache, queueCap, workers int) *runstats.Ser
 		s.Endpoints[ep] = es
 	}
 	s.Cache = runstats.CacheStats{
-		Hits:      m.cacheHits.Load(),
-		Misses:    m.cacheMisses.Load(),
-		Collapsed: m.cacheCollapsed.Load(),
-		Entries:   cache.len(),
-		Capacity:  cache.cap,
+		Hits:         m.cacheHits.Load(),
+		Misses:       m.cacheMisses.Load(),
+		Collapsed:    m.cacheCollapsed.Load(),
+		Entries:      cache.len(),
+		Capacity:     cache.cap,
+		Bytes:        cache.residentBytes(),
+		ByteCapacity: cache.maxBytes,
+	}
+	s.Sweep = runstats.SweepStats{
+		Cells:  m.sweepCells.Load(),
+		Cached: m.sweepCached.Load(),
+		Failed: m.sweepFailed.Load(),
 	}
 	s.Queue = runstats.QueueStats{
 		Depth:    m.queueDepth.Load(),

@@ -8,6 +8,7 @@
 //	POST /v1/eval    evaluate an expression / price an operation (query.Eval)
 //	POST /v1/price   simulate an operation end to end (query.Price)
 //	POST /v1/plan    derive + price an HPF redistribution (query.Plan)
+//	POST /v1/sweep   batched grid of queries, streamed as NDJSON (sweep.Run)
 //	GET  /healthz    liveness
 //	GET  /metrics    Prometheus text exposition
 //	GET  /v1/stats   runstats.ServeStats JSON dump
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"ctcomm/internal/runstats"
+	"ctcomm/internal/sweep"
 )
 
 // Config parameterizes a Server. The zero value selects production
@@ -56,6 +58,11 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the result LRU (default 4096 entries).
 	CacheEntries int
+	// CacheBytes bounds the approximate resident size of the result LRU
+	// (default 64 MiB). Entry counts alone cannot: a few thousand large
+	// rendered plan texts or sweep-warmed responses would otherwise grow
+	// the cache without bound in practice.
+	CacheBytes int64
 	// RequestTimeout bounds one request end to end, queueing included
 	// (default 30s).
 	RequestTimeout time.Duration
@@ -72,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -92,11 +102,10 @@ type call struct {
 	err  error
 }
 
-// job is one queued execution.
+// job is one queued unit of work: a point query's execute-and-publish
+// closure, or one chunk of a sweep.
 type job struct {
-	key string
-	fn  func() (interface{}, error)
-	c   *call
+	run func()
 }
 
 // Server is the cost-query service. Create with New, mount Handler,
@@ -128,9 +137,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		queue:   make(chan job, cfg.QueueDepth),
-		cache:   newLRUCache(cfg.CacheEntries),
+		cache:   newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
 		flight:  map[string]*call{},
-		metrics: newMetrics([]string{"eval", "price", "plan", "healthz", "metrics", "stats"}),
+		metrics: newMetrics([]string{"eval", "price", "plan", "sweep", "healthz", "metrics", "stats"}),
 	}
 	s.routes()
 	s.workers.Add(cfg.Workers)
@@ -164,21 +173,39 @@ func (s *Server) worker() {
 		// Execute even when the submitting request already timed out:
 		// the result still warms the cache, and during shutdown the
 		// drain semantics are "queued work completes".
-		j.c.val, j.c.err = j.fn()
-		if j.c.err == nil {
-			s.cache.add(j.key, j.c.val)
-		}
-		s.flightMu.Lock()
-		delete(s.flight, j.key)
-		s.flightMu.Unlock()
-		close(j.c.done)
+		j.run()
 	}
+}
+
+// publish records a finished leader execution: caches the value, drops
+// the flight entry, and releases every collapsed waiter.
+func (s *Server) publish(key string, c *call, val interface{}, err error) {
+	c.val, c.err = val, err
+	if err == nil {
+		s.cache.add(key, val)
+	}
+	s.flightMu.Lock()
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(c.done)
 }
 
 // do answers a query with caching, singleflight collapse and
 // admission control. cached reports whether the answer came from the
 // cache (or an in-flight leader) rather than a fresh execution.
+//
+// Deadline audit (every wait escapes on the REQUEST'S OWN context, so
+// a request whose deadline expires gets its 504 immediately, never the
+// leader's timing): a collapsed waiter selects on ctx.Done alongside
+// the leader's done channel, and the leader's own wait below does the
+// same. TestCollapsedWaiterHonorsOwnDeadline pins the waiter case
+// deterministically via the worker test hook.
 func (s *Server) do(ctx context.Context, key string, fn func() (interface{}, error)) (val interface{}, cached bool, err error) {
+	if err := ctx.Err(); err != nil {
+		// Already past the deadline: fail now rather than returning a
+		// stale-looking success from the cache.
+		return nil, false, err
+	}
 	if v, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		return v, true, nil
@@ -187,7 +214,8 @@ func (s *Server) do(ctx context.Context, key string, fn func() (interface{}, err
 	s.flightMu.Lock()
 	if c, ok := s.flight[key]; ok {
 		// An identical query is already executing or queued: wait for
-		// its answer instead of queueing a duplicate.
+		// its answer instead of queueing a duplicate — but only as long
+		// as this waiter's own deadline allows.
 		s.flightMu.Unlock()
 		s.metrics.cacheCollapsed.Add(1)
 		select {
@@ -203,7 +231,7 @@ func (s *Server) do(ctx context.Context, key string, fn func() (interface{}, err
 	s.metrics.cacheMisses.Add(1)
 
 	select {
-	case s.queue <- job{key: key, fn: fn, c: c}:
+	case s.queue <- job{run: func() { v, err := fn(); s.publish(key, c, v, err) }}:
 		s.metrics.queueDepth.Add(1)
 	default:
 		// Queue full: shed load now. Fail the flight entry so waiters
@@ -223,6 +251,50 @@ func (s *Server) do(ctx context.Context, key string, fn func() (interface{}, err
 	case <-ctx.Done():
 		return nil, false, ctx.Err()
 	}
+}
+
+// submitChunk queues one sweep chunk on the worker pool. Unlike do's
+// point-query submission it blocks instead of shedding: the sweep
+// request itself was already admitted, and sweep.Run bounds the chunks
+// in flight, so backpressure here is deliberate and deadline-bounded
+// by the sweep request's context.
+func (s *Server) submitChunk(ctx context.Context, run func()) error {
+	select {
+	case s.queue <- job{run: run}:
+		s.metrics.queueDepth.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sweepCell is the sweep.Runner backed by the server's fingerprint LRU
+// and flight map: a cell that an earlier request (point or sweep)
+// answered is a cache hit, and point queries can collapse onto a
+// cell's in-flight execution. Unlike do, a cell NEVER waits on another
+// in-flight leader: the leader's job may be queued behind the very
+// worker this cell occupies, so waiting could stall the pool; the rare
+// duplicate execution is cheaper than that.
+func (s *Server) sweepCell(ctx context.Context, c sweep.Cell) (interface{}, bool, error) {
+	key := c.Fingerprint()
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return v, true, nil
+	}
+	s.flightMu.Lock()
+	if _, inFlight := s.flight[key]; inFlight {
+		s.flightMu.Unlock()
+		val, err := c.Exec()
+		return val, false, err
+	}
+	cl := &call{done: make(chan struct{})}
+	s.flight[key] = cl
+	s.flightMu.Unlock()
+	s.metrics.cacheMisses.Add(1)
+
+	val, err := c.Exec()
+	s.publish(key, cl, val, err)
+	return val, false, err
 }
 
 // Snapshot returns the observability counters as a JSON-ready dump.

@@ -1,0 +1,576 @@
+// Package sweep is the batched parameter-sweep engine over the query
+// core. The paper's central results are grids, not single points:
+// Figures 7-8 and Table 5 evaluate every transfer style across a sweep
+// of strides, block sizes and machines, and Table 6 sweeps application
+// kernels across problem sizes. A Spec describes such a grid compactly
+// (machines x operations x styles x sizes); Expand unfolds it into
+// canonical internal/query requests ("cells"), and Run executes the
+// cells concurrently in chunks, reporting one Row per cell.
+//
+// The engine is shared by three frontends — POST /v1/sweep on the
+// ctserved HTTP service (streaming NDJSON), ctcomm.Sweep on the public
+// facade, and `ctmodel -sweep spec.json` on the CLI — so a cell's
+// rendered text is byte-identical across all of them, and identical to
+// the equivalent point query (/v1/eval, /v1/price, /v1/plan), because
+// every path bottoms out in the same query functions.
+//
+// Partial-failure semantics: an invalid or failing cell yields a Row
+// with Err set; it never aborts the sweep. Only a malformed Spec (bad
+// kind, oversized grid, empty grid, axes that do not apply to the
+// kind) is rejected as a whole, with query.ErrBadRequest.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ctcomm/internal/query"
+)
+
+// DefaultMaxCells caps a grid expansion when Spec.MaxCells is unset.
+const DefaultMaxCells = 4096
+
+// HardMaxCells bounds MaxCells itself: no spec may expand to more
+// cells than this, whatever it asks for.
+const HardMaxCells = 1 << 16
+
+// Spec is the compact grid description. Each non-empty axis multiplies
+// the grid; an empty axis contributes one cell along that dimension
+// with the query default (machine "t3d", rates "paper", and so on).
+// Axes that do not apply to the requested kind are rejected, so a
+// typo'd spec fails loudly instead of silently sweeping nothing.
+type Spec struct {
+	// Kind selects the query type the grid expands to: "eval"
+	// (default), "price" or "plan".
+	Kind string `json:"kind,omitempty"`
+
+	// Machines is the machine-profile axis (all kinds).
+	Machines []string `json:"machines,omitempty"`
+
+	// Eval axes (kind "eval").
+	Rates []string `json:"rates,omitempty"`
+	Exprs []string `json:"exprs,omitempty"`
+
+	// Ops is the operation axis (kinds "eval" and "price"). When Ops is
+	// empty, Xs x Ys cross-produce the operations xQy.
+	Ops []string `json:"ops,omitempty"`
+	Xs  []string `json:"xs,omitempty"`
+	Ys  []string `json:"ys,omitempty"`
+
+	// Price axes (kind "price").
+	Styles []string `json:"styles,omitempty"`
+	Words  []int    `json:"words,omitempty"`
+	Duplex bool     `json:"duplex,omitempty"`
+
+	// Congestions applies to kinds "eval" and "price"; 0 selects the
+	// machine default.
+	Congestions []float64 `json:"congestions,omitempty"`
+
+	// Plan axes (kind "plan"). Transposes, when set, sweeps n x n
+	// transposes instead of redistributions and excludes Ns/Srcs/Dsts.
+	Ns         []int    `json:"ns,omitempty"`
+	Ps         []int    `json:"ps,omitempty"`
+	Srcs       []string `json:"srcs,omitempty"`
+	Dsts       []string `json:"dsts,omitempty"`
+	Transposes []int    `json:"transposes,omitempty"`
+
+	// MaxCells overrides DefaultMaxCells, up to HardMaxCells. Grids
+	// larger than the cap are rejected, never truncated.
+	MaxCells int `json:"max_cells,omitempty"`
+}
+
+// badf returns a spec-validation error wrapping query.ErrBadRequest,
+// so servers map it to 400 and CLIs to usage-error exit codes.
+func badf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: sweep: %s", query.ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Cell is one expanded grid point: exactly one of Eval, Price or Plan
+// is set, already canonicalized (defaults applied), so its fingerprint
+// matches the equivalent point query's.
+type Cell struct {
+	Index int                 `json:"-"`
+	Eval  *query.EvalRequest  `json:"eval,omitempty"`
+	Price *query.PriceRequest `json:"price,omitempty"`
+	Plan  *query.PlanRequest  `json:"plan,omitempty"`
+}
+
+// Fingerprint is the cell's canonical cache key — identical to the
+// fingerprint of the equivalent point query, so a sweep shares cache
+// entries with /v1/eval, /v1/price and /v1/plan.
+func (c Cell) Fingerprint() string {
+	switch {
+	case c.Eval != nil:
+		return c.Eval.Fingerprint()
+	case c.Price != nil:
+		return c.Price.Fingerprint()
+	case c.Plan != nil:
+		return c.Plan.Fingerprint()
+	}
+	return "sweep|empty"
+}
+
+// Exec answers the cell through the query core.
+func (c Cell) Exec() (interface{}, error) {
+	switch {
+	case c.Eval != nil:
+		r, err := query.Eval(*c.Eval)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	case c.Price != nil:
+		r, err := query.Price(*c.Price)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	case c.Plan != nil:
+		r, err := query.Plan(*c.Plan)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	return nil, badf("empty cell")
+}
+
+// Row is one per-cell result. The request echo (EvalReq/PriceReq/
+// PlanReq) identifies the cell; exactly one response field (or Err) is
+// set. The response is the same struct a point query returns, so its
+// Text field is byte-identical to the CLI output for the same inputs.
+type Row struct {
+	Index  int    `json:"index"`
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"error,omitempty"`
+
+	EvalReq  *query.EvalRequest  `json:"eval_request,omitempty"`
+	PriceReq *query.PriceRequest `json:"price_request,omitempty"`
+	PlanReq  *query.PlanRequest  `json:"plan_request,omitempty"`
+
+	Eval  *query.EvalResponse  `json:"eval,omitempty"`
+	Price *query.PriceResponse `json:"price,omitempty"`
+	Plan  *query.PlanResponse  `json:"plan,omitempty"`
+}
+
+// Stats summarizes an executed sweep: how many rows were emitted, how
+// many were served from a cache, and how many carry an error.
+type Stats struct {
+	Cells  int `json:"cells"`
+	Cached int `json:"cached"`
+	Failed int `json:"failed"`
+}
+
+// --- Expansion ---------------------------------------------------------
+
+// orDefault returns axis, or a one-element axis of the zero value so
+// the query core's Canon() applies its default.
+func orDefault(axis []string) []string {
+	if len(axis) == 0 {
+		return []string{""}
+	}
+	return axis
+}
+
+func orDefaultInts(axis []int) []int {
+	if len(axis) == 0 {
+		return []int{0}
+	}
+	return axis
+}
+
+func orDefaultFloats(axis []float64) []float64 {
+	if len(axis) == 0 {
+		return []float64{0}
+	}
+	return axis
+}
+
+// ops returns the operation axis: Ops verbatim, else Xs x Ys.
+func (s Spec) ops() []string {
+	if len(s.Ops) > 0 {
+		return s.Ops
+	}
+	var out []string
+	for _, x := range s.Xs {
+		for _, y := range s.Ys {
+			out = append(out, x+"Q"+y)
+		}
+	}
+	return out
+}
+
+// kind returns the canonical kind name.
+func (s Spec) kind() string {
+	if s.Kind == "" {
+		return "eval"
+	}
+	return s.Kind
+}
+
+// rejectAxes fails if any named axis is non-empty.
+func rejectAxes(kind string, axes map[string]int) error {
+	for name, n := range axes {
+		if n > 0 {
+			return badf("axis %q does not apply to kind %q", name, kind)
+		}
+	}
+	return nil
+}
+
+// cap returns the effective cell cap for the spec.
+func (s Spec) cap() int {
+	if s.MaxCells <= 0 {
+		return DefaultMaxCells
+	}
+	return min(s.MaxCells, HardMaxCells)
+}
+
+// Expand unfolds the grid into canonical cells, in a deterministic
+// nested-axis order (machines outermost, sizes innermost). It rejects
+// unknown kinds, axes that do not apply to the kind, empty grids, and
+// grids larger than the cap — but it does not validate cell contents:
+// an unknown machine name or a malformed operation becomes an error
+// Row at run time, preserving partial-failure semantics.
+func Expand(s Spec) ([]Cell, error) {
+	var cells []Cell
+	limit := s.cap()
+	add := func(c Cell) error {
+		if len(cells) >= limit {
+			return badf("grid exceeds %d cells (cap %d; raise max_cells up to %d or split the sweep)",
+				limit, limit, HardMaxCells)
+		}
+		c.Index = len(cells)
+		cells = append(cells, c)
+		return nil
+	}
+
+	switch s.kind() {
+	case "eval":
+		if err := rejectAxes("eval", map[string]int{
+			"styles": len(s.Styles), "words": len(s.Words),
+			"ns": len(s.Ns), "ps": len(s.Ps), "srcs": len(s.Srcs),
+			"dsts": len(s.Dsts), "transposes": len(s.Transposes),
+		}); err != nil {
+			return nil, err
+		}
+		ops := s.ops()
+		if len(s.Exprs) == 0 && len(ops) == 0 {
+			return nil, badf(`kind "eval" needs at least one of exprs, ops, or xs+ys`)
+		}
+		for _, m := range orDefault(s.Machines) {
+			for _, rates := range orDefault(s.Rates) {
+				for _, cong := range orDefaultFloats(s.Congestions) {
+					for _, expr := range s.Exprs {
+						r := query.EvalRequest{Machine: m, Rates: rates, Expr: expr, Congestion: cong}.Canon()
+						if err := add(Cell{Eval: &r}); err != nil {
+							return nil, err
+						}
+					}
+					for _, op := range ops {
+						r := query.EvalRequest{Machine: m, Rates: rates, Op: op, Congestion: cong}.Canon()
+						if err := add(Cell{Eval: &r}); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+
+	case "price":
+		if err := rejectAxes("price", map[string]int{
+			"rates": len(s.Rates), "exprs": len(s.Exprs),
+			"ns": len(s.Ns), "ps": len(s.Ps), "srcs": len(s.Srcs),
+			"dsts": len(s.Dsts), "transposes": len(s.Transposes),
+		}); err != nil {
+			return nil, err
+		}
+		ops := s.ops()
+		if len(ops) == 0 {
+			return nil, badf(`kind "price" needs ops or xs+ys`)
+		}
+		for _, m := range orDefault(s.Machines) {
+			for _, style := range orDefault(s.Styles) {
+				for _, op := range ops {
+					for _, cong := range orDefaultFloats(s.Congestions) {
+						for _, words := range orDefaultInts(s.Words) {
+							x, y, err := splitOp(op)
+							if err != nil {
+								// Keep the malformed op as a cell so it
+								// surfaces as an error row, not a lost cell.
+								x, y = op, ""
+							}
+							r := query.PriceRequest{
+								Machine: m, Style: style, X: x, Y: y,
+								Words: words, Congestion: cong, Duplex: s.Duplex,
+							}.Canon()
+							if err := add(Cell{Price: &r}); err != nil {
+								return nil, err
+							}
+						}
+					}
+				}
+			}
+		}
+
+	case "plan":
+		if err := rejectAxes("plan", map[string]int{
+			"rates": len(s.Rates), "exprs": len(s.Exprs), "ops": len(s.Ops),
+			"xs": len(s.Xs), "ys": len(s.Ys), "styles": len(s.Styles),
+			"words": len(s.Words), "congestions": len(s.Congestions),
+		}); err != nil {
+			return nil, err
+		}
+		if len(s.Transposes) > 0 {
+			if len(s.Ns)+len(s.Srcs)+len(s.Dsts) > 0 {
+				return nil, badf("transposes excludes ns/srcs/dsts")
+			}
+			for _, m := range orDefault(s.Machines) {
+				for _, tr := range s.Transposes {
+					for _, p := range orDefaultInts(s.Ps) {
+						r := query.PlanRequest{Machine: m, Transpose: tr, P: p}.Canon()
+						if err := add(Cell{Plan: &r}); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			break
+		}
+		for _, m := range orDefault(s.Machines) {
+			for _, n := range orDefaultInts(s.Ns) {
+				for _, p := range orDefaultInts(s.Ps) {
+					for _, src := range orDefault(s.Srcs) {
+						for _, dst := range orDefault(s.Dsts) {
+							r := query.PlanRequest{Machine: m, N: n, P: p, Src: src, Dst: dst}.Canon()
+							if err := add(Cell{Plan: &r}); err != nil {
+								return nil, err
+							}
+						}
+					}
+				}
+			}
+		}
+
+	default:
+		return nil, badf("unknown kind %q (want eval, price or plan)", s.Kind)
+	}
+
+	if len(cells) == 0 {
+		return nil, badf("grid is empty")
+	}
+	return cells, nil
+}
+
+// splitOp splits "xQy" without validating the pattern grammar (the
+// query core does that per cell).
+func splitOp(op string) (x, y string, err error) {
+	for i := 0; i < len(op); i++ {
+		if op[i] == 'Q' {
+			if i == 0 || i == len(op)-1 {
+				break
+			}
+			return op[:i], op[i+1:], nil
+		}
+	}
+	return "", "", badf("invalid operation %q (want xQy)", op)
+}
+
+// --- Execution ---------------------------------------------------------
+
+// Runner executes one cell, returning the response value
+// (query.EvalResponse, PriceResponse or PlanResponse), whether it was
+// served from a cache, and the cell's error if it is invalid or fails.
+type Runner func(ctx context.Context, c Cell) (val interface{}, cached bool, err error)
+
+// Options parameterizes Run. The zero value runs cells on a private
+// goroutine pool with a per-sweep memo cache.
+type Options struct {
+	// Runner executes one cell; nil selects DirectRunner().
+	Runner Runner
+	// Workers bounds the chunks in flight at once (default GOMAXPROCS).
+	Workers int
+	// ChunkSize is the number of cells per shard; 0 picks a size that
+	// yields about four chunks per worker.
+	ChunkSize int
+	// Submit, when set, routes one chunk's execution onto an external
+	// executor (the serve worker pool) instead of a private goroutine.
+	// It must either run the closure (on any goroutine) or return an
+	// error; Run still bounds the chunks in flight by Workers.
+	Submit func(ctx context.Context, run func()) error
+}
+
+func (o Options) withDefaults(cells int) Options {
+	if o.Runner == nil {
+		o.Runner = DirectRunner()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = max(1, min(64, (cells+o.Workers*4-1)/(o.Workers*4)))
+	}
+	return o
+}
+
+// DirectRunner executes cells in-process with a sweep-local memo, so
+// duplicate cells within one sweep (or across sweeps sharing the
+// runner) are computed once. The serve subsystem supplies its own
+// Runner backed by the process-wide fingerprint LRU instead.
+func DirectRunner() Runner {
+	var mu sync.Mutex
+	type memoEntry struct {
+		val interface{}
+		err error
+	}
+	memo := map[string]memoEntry{}
+	return func(ctx context.Context, c Cell) (interface{}, bool, error) {
+		key := c.Fingerprint()
+		mu.Lock()
+		if e, ok := memo[key]; ok {
+			mu.Unlock()
+			return e.val, true, e.err
+		}
+		mu.Unlock()
+		val, err := c.Exec()
+		mu.Lock()
+		memo[key] = memoEntry{val, err}
+		mu.Unlock()
+		return val, false, err
+	}
+}
+
+// buildRow folds one executed cell into its row.
+func buildRow(c Cell, val interface{}, cached bool, err error) Row {
+	row := Row{Index: c.Index, Cached: cached,
+		EvalReq: c.Eval, PriceReq: c.Price, PlanReq: c.Plan}
+	if err != nil {
+		row.Err = err.Error()
+		row.Cached = false
+		return row
+	}
+	switch v := val.(type) {
+	case query.EvalResponse:
+		row.Eval = &v
+	case query.PriceResponse:
+		row.Price = &v
+	case query.PlanResponse:
+		row.Plan = &v
+	default:
+		row.Err = fmt.Sprintf("sweep: unexpected result type %T", val)
+	}
+	return row
+}
+
+// Run executes the cells and calls emit once per cell, in cell-index
+// order (rows stream as cells complete, with head-of-line ordering so
+// output is deterministic). Cells are sharded into chunks; at most
+// Workers chunks are in flight at once. A failing cell yields an error
+// Row and the sweep continues. Run returns early only when ctx is
+// cancelled (the context error is returned and unemitted cells are
+// dropped) or when emit itself fails; Stats counts emitted rows.
+//
+// emit is called from the Run goroutine only, never concurrently.
+func Run(ctx context.Context, cells []Cell, opt Options, emit func(Row) error) (Stats, error) {
+	opt = opt.withDefaults(len(cells))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	rowCh := make(chan Row, opt.Workers*opt.ChunkSize)
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+
+	// Dispatcher: shard cells into chunks, at most Workers in flight.
+	dispatched := make(chan struct{})
+	go func() {
+		defer close(dispatched)
+		for start := 0; start < len(cells); start += opt.ChunkSize {
+			chunk := cells[start:min(start+opt.ChunkSize, len(cells))]
+			select {
+			case sem <- struct{}{}:
+			case <-cctx.Done():
+				return
+			}
+			run := func() {
+				defer func() { <-sem; wg.Done() }()
+				for _, c := range chunk {
+					if cctx.Err() != nil {
+						return
+					}
+					val, cached, err := opt.Runner(cctx, c)
+					select {
+					case rowCh <- buildRow(c, val, cached, err):
+					case <-cctx.Done():
+						return
+					}
+				}
+			}
+			wg.Add(1)
+			if opt.Submit != nil {
+				if err := opt.Submit(cctx, run); err != nil {
+					wg.Done()
+					<-sem
+					return
+				}
+			} else {
+				go run()
+			}
+		}
+	}()
+	go func() {
+		<-dispatched
+		wg.Wait()
+		close(rowCh)
+	}()
+
+	// Ordered emission: buffer out-of-order rows, emit sequentially.
+	var stats Stats
+	var emitErr error
+	pending := map[int]Row{}
+	next := 0
+	for row := range rowCh {
+		pending[row.Index] = row
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if emitErr != nil {
+				continue // draining rowCh after a failed emit
+			}
+			if err := emit(r); err != nil {
+				emitErr = err
+				cancel() // stop the workers; drain rowCh below
+				continue
+			}
+			stats.Cells++
+			switch {
+			case r.Err != "":
+				stats.Failed++
+			case r.Cached:
+				stats.Cached++
+			}
+		}
+	}
+	if emitErr != nil {
+		return stats, emitErr
+	}
+	if err := ctx.Err(); err != nil && next < len(cells) {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Execute expands the spec and runs it — the one-call form the facade
+// and CLI use.
+func Execute(ctx context.Context, s Spec, opt Options, emit func(Row) error) (Stats, error) {
+	cells, err := Expand(s)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Run(ctx, cells, opt, emit)
+}

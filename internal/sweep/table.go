@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+
+	"ctcomm/internal/table"
+)
+
+// Table folds executed sweep rows into an internal/table grid, the
+// rendering `ctmodel -sweep` prints (text, CSV or markdown — one
+// result path, the same renderer the experiment harness uses). Columns
+// depend on the sweep kind; the note column carries per-cell errors so
+// a partially failed sweep still renders every row.
+func Table(s Spec, rows []Row, st Stats) *table.Table {
+	t := &table.Table{
+		Title: fmt.Sprintf("sweep %s: %d cells (%d cached, %d failed)",
+			s.kind(), st.Cells, st.Cached, st.Failed),
+	}
+	switch s.kind() {
+	case "price":
+		t.Header = []string{"machine", "style", "op", "words", "cong", "MB/s", "us", "note"}
+		for _, r := range rows {
+			req := r.PriceReq
+			if req == nil {
+				continue
+			}
+			op := req.X + "Q" + req.Y
+			if r.Err != "" {
+				t.AddRow(req.Machine, req.Style, op, strconv.Itoa(req.Words),
+					fmtCong(req.Congestion), "-", "-", r.Err)
+				continue
+			}
+			p := r.Price
+			t.AddRow(p.Machine, p.Style, p.Op, strconv.Itoa(p.Words),
+				fmtCong(p.Congestion), table.F(p.MBps), table.F(p.ElapsedUs), "")
+		}
+	case "plan":
+		t.Header = []string{"machine", "operation", "packed MB/s", "chained MB/s", "recommendation", "note"}
+		for _, r := range rows {
+			req := r.PlanReq
+			if req == nil {
+				continue
+			}
+			what := fmt.Sprintf("%s->%s n=%d p=%d", req.Src, req.Dst, req.N, req.P)
+			if req.Transpose > 0 {
+				what = fmt.Sprintf("transpose %dx%d p=%d", req.Transpose, req.Transpose, req.P)
+			}
+			if r.Err != "" {
+				t.AddRow(req.Machine, what, "-", "-", "-", r.Err)
+				continue
+			}
+			p := r.Plan
+			packed, chained := "-", "-"
+			if p.Packed != nil {
+				packed = table.F(p.Packed.MBps)
+			}
+			if p.Chained != nil {
+				chained = table.F(p.Chained.MBps)
+			} else if p.ChainedErr != "" {
+				chained = "n/a"
+			}
+			t.AddRow(p.Machine, what, packed, chained, p.Recommendation, "")
+		}
+	default: // eval
+		t.Header = []string{"machine", "rates", "cong", "query", "MB/s", "chained MB/s", "note"}
+		for _, r := range rows {
+			req := r.EvalReq
+			if req == nil {
+				continue
+			}
+			q := req.Expr
+			if q == "" {
+				q = req.Op
+			}
+			if r.Err != "" {
+				t.AddRow(req.Machine, req.Rates, fmtCong(req.Congestion), q, "-", "-", r.Err)
+				continue
+			}
+			e := r.Eval
+			mbps, chained, note := "-", "-", ""
+			switch {
+			case req.Expr != "":
+				mbps = table.F(e.MBps)
+			case e.Packed != nil:
+				mbps = table.F(e.Packed.MBps)
+				if e.Chained != nil {
+					chained = table.F(e.Chained.MBps)
+				} else if e.ChainedErr != "" {
+					chained = "n/a"
+				}
+			}
+			t.AddRow(e.Machine, e.Rates, fmtCong(e.Congestion), q, mbps, chained, note)
+		}
+	}
+	return t
+}
+
+// fmtCong renders a congestion axis value; 0 means "machine default".
+func fmtCong(c float64) string {
+	if c == 0 {
+		return "dflt"
+	}
+	return strconv.FormatFloat(c, 'g', -1, 64)
+}

@@ -4,8 +4,9 @@
 #
 # It builds the server, starts it on an ephemeral port, exercises
 # /healthz, /v1/eval (twice, asserting the repeat is a cache hit),
-# /metrics, and /v1/stats, then sends SIGTERM and asserts a clean
-# drain (exit 0) plus a well-formed -stats JSON dump.
+# /v1/sweep (twice, asserting the repeat answers its cells from the
+# cache), /metrics, and /v1/stats, then sends SIGTERM and asserts a
+# clean drain (exit 0) plus a well-formed -stats JSON dump.
 set -eu
 
 GO=${GO:-go}
@@ -45,6 +46,21 @@ echo "$METRICS" | grep -q '^ctserved_cache_misses_total 1$' \
 HITS=$(echo "$METRICS" | sed -n 's/^ctserved_cache_hits_total \([0-9]*\)$/\1/p')
 [ "${HITS:-0}" -ge 1 ] || fail "expected >= 1 cache hit, got '$HITS'"
 echo "serve-smoke: cache hit on repeat confirmed ($HITS hits, 1 miss)"
+
+# Sweep: a small grid streams one NDJSON row per cell plus a summary;
+# repeating the sweep must answer at least one cell (here: all) from
+# the result cache.
+SWEEP='{"kind":"eval","machines":["t3d","paragon"],"ops":["1Q64","1Q1"]}'
+S1=$(curl -fsS -X POST -d "$SWEEP" "$BASE/v1/sweep") || fail "first /v1/sweep"
+echo "$S1" | grep -q '"done":true,"cells":4,"cached":0,"failed":0' \
+    || fail "cold sweep summary wrong: $(echo "$S1" | tail -n1)"
+S2=$(curl -fsS -X POST -d "$SWEEP" "$BASE/v1/sweep") || fail "second /v1/sweep"
+echo "$S2" | grep -q '"cached":true' || fail "repeated sweep has no cached cell"
+echo "$S2" | grep -q '"done":true,"cells":4,"cached":4,"failed":0' \
+    || fail "warm sweep summary wrong: $(echo "$S2" | tail -n1)"
+SWEEPCACHED=$(curl -fsS "$BASE/metrics" | sed -n 's/^ctserved_sweep_cells_cached_total \([0-9]*\)$/\1/p')
+[ "${SWEEPCACHED:-0}" -ge 1 ] || fail "expected >= 1 cached sweep cell in /metrics, got '$SWEEPCACHED'"
+echo "serve-smoke: sweep cache hit on repeat confirmed ($SWEEPCACHED cached cells)"
 
 curl -fsS "$BASE/v1/stats" | grep -q '"endpoints"' || fail "/v1/stats dump malformed"
 
