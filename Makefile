@@ -4,7 +4,7 @@ GO ?= go
 J ?= 4
 CIOUT ?= ci-out
 
-.PHONY: all build test test-short bench bench-hotpath bench-serve sweep-bench experiments fuzz fuzz-smoke gofmt-check race serve-smoke ci clean
+.PHONY: all build test test-short bench bench-hotpath bench-serve sweep-bench bench-record bench-gate experiments fuzz fuzz-smoke gofmt-check race serve-smoke ci clean
 
 all: build test
 
@@ -32,10 +32,27 @@ bench-hotpath:
 bench-serve:
 	$(GO) test -bench 'BenchmarkServe' -benchmem ./internal/serve/
 
-# Batched-sweep benchmarks through the /v1/sweep NDJSON handler: warm
-# (every cell a cache hit) and cold (cache cleared per iteration).
+# Batched-sweep benchmarks: the analytic batch path vs the
+# engine-per-cell reference in internal/sweep, plus the /v1/sweep NDJSON
+# handler (warm and cold) in internal/serve. Also emits the normalized
+# per-benchmark JSON (same shape as the checked-in BENCH_*.json
+# trajectory) under $(CIOUT)/ without touching the checked-in baseline.
 sweep-bench:
+	mkdir -p $(CIOUT)
+	BENCH_DIR=$(CIOUT) sh scripts/bench_record.sh
 	$(GO) test -bench 'BenchmarkSweep' -benchmem ./internal/serve/
+
+# Append a fresh trajectory entry per benchmark to the checked-in
+# BENCH_sweep.json / BENCH_hotpath.json (commit the result). CI's
+# bench-gate compares PRs against the latest BenchmarkSweep entry.
+bench-record:
+	sh scripts/bench_record.sh
+
+# Fail if BenchmarkSweep rows/sec regressed >25% vs the checked-in
+# baseline (override: ALLOW_BENCH_REGRESSION=1, mirroring the CI
+# bench-regression-ok PR label).
+bench-gate:
+	sh scripts/bench_gate.sh
 
 experiments:
 	$(GO) run ./cmd/experiments -check -j $(J)
@@ -52,6 +69,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 15s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamOps$$' -fuzztime 30s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 30s ./internal/memsim/
+	$(GO) test -fuzz 'FuzzSweepAnalytic$$' -fuzztime 30s ./internal/sweep/
 
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/model/
@@ -59,6 +77,7 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzParseSpec$$' -fuzztime 10s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamOps$$' -fuzztime 10s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 10s ./internal/memsim/
+	$(GO) test -fuzz 'FuzzSweepAnalytic$$' -fuzztime 10s ./internal/sweep/
 
 gofmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -71,7 +90,8 @@ race:
 # race, the parallel experiment shape gate (metrics archived under
 # $(CIOUT)/), the fast-forward differential gate (stdout must be
 # byte-identical with and without -no-fast-forward), the fuzz smoke
-# pass, and the one-iteration bench sweep.
+# pass, the one-iteration bench sweep, and the sweep-throughput
+# regression gate against the checked-in BENCH_sweep.json baseline.
 ci: build gofmt-check test race serve-smoke
 	mkdir -p $(CIOUT)
 	$(GO) run ./cmd/experiments -quick -check -j $(J) -stats $(CIOUT)/experiments-stats.json
@@ -80,6 +100,7 @@ ci: build gofmt-check test race serve-smoke
 	cmp $(CIOUT)/ff-on.txt $(CIOUT)/ff-off.txt
 	$(MAKE) fuzz-smoke
 	$(GO) test -bench . -benchtime 1x -benchmem ./... | tee $(CIOUT)/bench.txt
+	$(MAKE) bench-gate
 
 clean:
 	$(GO) clean -testcache

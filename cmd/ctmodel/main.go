@@ -14,7 +14,11 @@
 // is evaluated; -list prints the rate table itself. With -sweep a JSON
 // grid spec ("-" for stdin) expands to a batch of queries executed
 // concurrently (-j bounds the parallelism), rendered as a table in the
-// -format of choice (text, csv or markdown).
+// -format of choice (text, csv or markdown). Sweeps run through a
+// shared batch context (machines resolved once, rate tables built
+// once, element-count axes answered by bitwise-verified closed-form
+// laws); -sweep-engine disables it and evaluates every cell as an
+// independent engine run — identical output, much slower.
 //
 // The evaluation itself lives in internal/query, which the ctserved
 // HTTP service shares: a served /v1/eval answer is byte-identical to
@@ -66,6 +70,8 @@ func run(args []string, out io.Writer) (int, error) {
 		sweepFlag   = fs.String("sweep", "", `JSON sweep spec file ("-" for stdin)`)
 		formatFlag  = fs.String("format", "text", "sweep output format: text, csv or markdown")
 		jFlag       = fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		engineFlag  = fs.Bool("sweep-engine", false,
+			"evaluate every sweep cell as an independent engine run (disables the shared batch context; same output, slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,7 +81,7 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if *sweepFlag != "" {
-		return runSweep(*sweepFlag, *formatFlag, *jFlag, out)
+		return runSweep(*sweepFlag, *formatFlag, *jFlag, *engineFlag, out)
 	}
 
 	req := query.EvalRequest{
@@ -112,8 +118,11 @@ func run(args []string, out io.Writer) (int, error) {
 }
 
 // runSweep executes a -sweep invocation: parse the spec, run the grid
-// through the shared sweep engine, render via internal/table.
-func runSweep(specPath, format string, workers int, out io.Writer) (int, error) {
+// through the shared sweep engine, render via internal/table. engine
+// disables the batch context (-sweep-engine), forcing per-cell point
+// evaluation — the reference the batch path is differentially tested
+// against.
+func runSweep(specPath, format string, workers int, engine bool, out io.Writer) (int, error) {
 	if workers < 0 {
 		return 2, fmt.Errorf("-j must be non-negative, got %d", workers)
 	}
@@ -136,7 +145,7 @@ func runSweep(specPath, format string, workers int, out io.Writer) (int, error) 
 	}
 
 	var rows []sweep.Row
-	stats, err := sweep.Execute(context.Background(), spec, sweep.Options{Workers: workers},
+	stats, err := sweep.Execute(context.Background(), spec, sweep.Options{Workers: workers, Engine: engine},
 		func(r sweep.Row) error {
 			rows = append(rows, r)
 			return nil

@@ -215,8 +215,11 @@ type SweepStats = sweep.Stats
 
 // Sweep expands and runs a SweepQuery, returning one row per cell in
 // grid order. An invalid cell yields a row with Err set and the sweep
-// continues; only a malformed spec fails as a whole. Each cell's
-// answer is identical to the corresponding Eval/Price/Plan call.
+// continues; only a malformed spec fails as a whole. Cells evaluate
+// through a shared batch context (machines resolved once, rate tables
+// built once, element-count axes answered by bitwise-verified
+// closed-form laws); each cell's answer — including its rendered Text
+// — is byte-identical to the corresponding Eval/Price/Plan call.
 func Sweep(q SweepQuery) ([]SweepRow, SweepStats, error) {
 	var rows []SweepRow
 	stats, err := sweep.Execute(context.Background(), q, sweep.Options{}, func(r SweepRow) error {

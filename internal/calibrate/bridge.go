@@ -1,6 +1,9 @@
 package calibrate
 
 import (
+	"fmt"
+	"sync"
+
 	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
 	"ctcomm/internal/netsim"
@@ -28,4 +31,42 @@ func (t *Table) ToRateTable(m *machine.Machine) *model.RateTable {
 // from "machine profile" to "model parameterization".
 func RateTableFor(m *machine.Machine) *model.RateTable {
 	return Measure(m, 0).ToRateTable(m)
+}
+
+// Shared model-table memoization: RateTableFor rebuilds a fresh
+// model.RateTable (map copy + net-rate reconstruction) on every call,
+// which batch evaluation would pay once per cell. SharedRateTable
+// returns one immutable table per distinct configuration instead.
+var (
+	sharedMu     sync.Mutex
+	sharedTables = map[string]*sharedEntry{}
+)
+
+type sharedEntry struct {
+	once  sync.Once
+	table *model.RateTable
+}
+
+// SharedRateTable is RateTableFor without the per-call table
+// reconstruction: the returned table is built at most once per distinct
+// (machine configuration, network configuration) and shared. Callers
+// MUST treat it as immutable — internal/query.Batch uses it so the
+// thousands of cells of one sweep read one table instead of rebuilding
+// it per cell. Unlike Measure, a cache hit does not replay simulator
+// work into m's Stats; batch callers account calibration once, not per
+// cell.
+func SharedRateTable(m *machine.Machine) *model.RateTable {
+	// The measurement fingerprint excludes the network configuration
+	// (rate tables of basic transfers don't depend on it), but the model
+	// table embeds net rates, so key on both.
+	key := fingerprint(m, 0) + "|" + fmt.Sprintf("%+v|%+v", m.Net, m.Topo)
+	sharedMu.Lock()
+	e, ok := sharedTables[key]
+	if !ok {
+		e = &sharedEntry{}
+		sharedTables[key] = e
+	}
+	sharedMu.Unlock()
+	e.once.Do(func() { e.table = RateTableFor(m) })
+	return e.table
 }

@@ -119,6 +119,13 @@ type Stage struct {
 }
 
 // Result reports one simulated communication operation.
+//
+// AnalyticStages and EngineStages are provenance counters for the
+// basic-transfer simulations behind the stages: how many came from a
+// fitted word-count law (Session) vs. a full engine run. They carry
+// observability only — by the bit-identity contract the numbers in the
+// Result are the same either way — and MUST NOT be rendered into
+// consumer-facing responses, which are byte-compared across paths.
 type Result struct {
 	Machine      string
 	Style        Style
@@ -127,6 +134,9 @@ type Result struct {
 	ElapsedNs    float64
 	Congestion   float64
 	Stages       []Stage
+
+	AnalyticStages int
+	EngineStages   int
 }
 
 // MBps returns the per-node payload throughput.
@@ -137,8 +147,17 @@ func (r Result) MBps() float64 {
 	return float64(r.PayloadBytes) * 1e3 / r.ElapsedNs
 }
 
-// Run assembles and simulates one communication operation.
+// Run assembles and simulates one communication operation, simulating
+// every basic transfer on a fresh node (the classic point-query path).
 func Run(m *machine.Machine, style Style, x, y pattern.Spec, opt Options) (Result, error) {
+	return RunWith(m, style, x, y, opt, EngineSource(m))
+}
+
+// RunWith assembles one communication operation, obtaining basic
+// transfer results from src. With EngineSource it is exactly Run; with
+// a Session source, eligible transfers come from fitted word-count laws
+// and memoization — bit-identical by contract, sub-linear in cost.
+func RunWith(m *machine.Machine, style Style, x, y pattern.Spec, opt Options, src Source) (Result, error) {
 	if !x.IsMemory() || !y.IsMemory() {
 		return Result{}, fmt.Errorf("comm: xQy requires memory patterns, got %v -> %v", x, y)
 	}
@@ -147,7 +166,7 @@ func Run(m *machine.Machine, style Style, x, y pattern.Spec, opt Options) (Resul
 	}
 	opt.normalize(m)
 
-	a := assembler{m: m, opt: opt}
+	a := assembler{m: m, opt: opt, src: src, stats: &srcStats{}}
 	elapsed, stages, overhead, err := a.assemble(style, x, y)
 	if err != nil {
 		return Result{}, err
@@ -165,14 +184,16 @@ func Run(m *machine.Machine, style Style, x, y pattern.Spec, opt Options) (Resul
 	}
 
 	return Result{
-		Machine:      m.Name,
-		Style:        style,
-		X:            x,
-		Y:            y,
-		PayloadBytes: payload,
-		ElapsedNs:    elapsed,
-		Congestion:   opt.Congestion,
-		Stages:       stages,
+		Machine:        m.Name,
+		Style:          style,
+		X:              x,
+		Y:              y,
+		PayloadBytes:   payload,
+		ElapsedNs:      elapsed,
+		Congestion:     opt.Congestion,
+		Stages:         stages,
+		AnalyticStages: a.stats.analytic,
+		EngineStages:   a.stats.engine,
 	}, nil
 }
 
@@ -185,8 +206,32 @@ func payloadRate(bytes int64, ns float64) float64 {
 
 // assembler carries the per-run context.
 type assembler struct {
-	m   *machine.Machine
-	opt Options
+	m     *machine.Machine
+	opt   Options
+	src   Source
+	stats *srcStats
+}
+
+// srcStats counts basic-transfer provenance across one assembly,
+// shared by pointer with sub-assemblers (the chained receive clone).
+type srcStats struct {
+	analytic int
+	engine   int
+}
+
+// transfer obtains one basic-transfer result from the source and
+// accounts its provenance.
+func (a *assembler) transfer(kind xfer.Kind, x, y pattern.Spec) (xfer.Result, error) {
+	res, analytic, err := a.src.Transfer(kind, x, y, a.opt.Words)
+	if err != nil {
+		return res, err
+	}
+	if analytic {
+		a.stats.analytic++
+	} else {
+		a.stats.engine++
+	}
+	return res, nil
 }
 
 // penal returns the slowdown factor for processor/co-processor stages
@@ -199,9 +244,9 @@ func (a *assembler) penal() float64 {
 	return 1
 }
 
-// rateOf runs one basic transfer on a fresh node and returns MB/s.
+// copyRate sources one basic transfer and returns MB/s.
 func (a *assembler) copyRate(r, w pattern.Spec) (float64, error) {
-	res, err := xfer.Copy(a.m.NewNode(0), r, w, a.opt.Words)
+	res, err := a.transfer(xfer.KindCopy, r, w)
 	if err != nil {
 		return 0, err
 	}
@@ -209,7 +254,7 @@ func (a *assembler) copyRate(r, w pattern.Spec) (float64, error) {
 }
 
 func (a *assembler) loadSendRate(r pattern.Spec) (float64, error) {
-	res, err := xfer.LoadSend(a.m.NewNode(0), r, a.opt.Words)
+	res, err := a.transfer(xfer.KindLoadSend, r, pattern.Spec{})
 	if err != nil {
 		return 0, err
 	}
@@ -219,7 +264,7 @@ func (a *assembler) loadSendRate(r pattern.Spec) (float64, error) {
 // bestSend returns the fastest contiguous send path and its stage label.
 func (a *assembler) bestSend() (float64, Stage, error) {
 	if a.m.Fetch.Supports(pattern.Contig()) {
-		res, err := xfer.FetchSend(a.m.NewNode(0), pattern.Contig(), a.opt.Words)
+		res, err := a.transfer(xfer.KindFetchSend, pattern.Contig(), pattern.Spec{})
 		if err != nil {
 			return 0, Stage{}, err
 		}
@@ -238,7 +283,7 @@ func (a *assembler) bestSend() (float64, Stage, error) {
 // hardware engine when one exists.
 func (a *assembler) bestRecv(w pattern.Spec, allowCoproc bool) (float64, Stage, error) {
 	if a.m.Deposit.Supports(w) {
-		res, err := xfer.RecvDeposit(a.m.NewNode(0), w, a.opt.Words)
+		res, err := a.transfer(xfer.KindRecvDeposit, pattern.Spec{}, w)
 		if err != nil {
 			return 0, Stage{}, err
 		}
@@ -247,7 +292,7 @@ func (a *assembler) bestRecv(w pattern.Spec, allowCoproc bool) (float64, Stage, 
 	_ = allowCoproc // receive-store is the fallback either way; the
 	// caller decides whether a plain-processor receive is acceptable by
 	// inspecting the returned stage's resource.
-	res, err := xfer.RecvStore(a.m.NewNode(0), w, a.opt.Words)
+	res, err := a.transfer(xfer.KindRecvStore, pattern.Spec{}, w)
 	if err != nil {
 		return 0, Stage{}, err
 	}
@@ -308,7 +353,7 @@ func (a *assembler) assemble(style Style, x, y pattern.Spec) (float64, []Stage, 
 			clone.Deposit.Present = false
 			recvMachine = &clone
 		}
-		ra := &assembler{m: recvMachine, opt: a.opt}
+		ra := &assembler{m: recvMachine, opt: a.opt, src: a.src, stats: a.stats}
 		recvRate, recvStage, err := ra.bestRecv(y, true)
 		if err != nil {
 			return 0, nil, 0, err

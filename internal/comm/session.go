@@ -1,0 +1,135 @@
+package comm
+
+import (
+	"sync"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/xfer"
+)
+
+// Session is the batch-evaluation context for sweeps: per machine it
+// memoizes basic-transfer results and fits analytic word-count laws
+// (xfer.FitLaw), so a grid of cells shares stage simulations across
+// styles, congestion levels and duplex settings, and the element-count
+// axis is answered by integer extrapolation instead of re-running the
+// engine. Every result is bit-identical to the engine path — laws are
+// bitwise-verified at fit time and replay through the same post-math,
+// and memoized engine runs are deterministic — so a Session changes
+// cost, never answers.
+//
+// A Session is safe for concurrent use; cells of one sweep evaluate on
+// many workers at once. Machines are keyed by pointer: resolve each
+// machine once per batch (query.Batch does) and pass the same pointer
+// for every cell.
+type Session struct {
+	mu    sync.Mutex
+	machs map[*machine.Machine]*machSession
+}
+
+// NewSession returns an empty batch context.
+func NewSession() *Session {
+	return &Session{machs: map[*machine.Machine]*machSession{}}
+}
+
+// Run is RunWith over the session's memoizing, law-fitting source for m.
+func (s *Session) Run(m *machine.Machine, style Style, x, y pattern.Spec, opt Options) (Result, error) {
+	return RunWith(m, style, x, y, opt, s.SourceFor(m))
+}
+
+// SourceFor returns the session's Source bound to machine m.
+func (s *Session) SourceFor(m *machine.Machine) Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms, ok := s.machs[m]
+	if !ok {
+		ms = &machSession{
+			m:    m,
+			laws: map[lawKey]*lawEntry{},
+			memo: map[memoKey]*memoEntry{},
+		}
+		s.machs[m] = ms
+	}
+	return ms
+}
+
+type lawKey struct {
+	kind    xfer.Kind
+	x, y    pattern.Spec
+	residue int
+}
+
+type memoKey struct {
+	kind  xfer.Kind
+	x, y  pattern.Spec
+	words int
+}
+
+// lawEntry and memoEntry are once-guarded so concurrent cells needing
+// the same fit or the same transfer compute it exactly once, without
+// holding the session lock across a simulation.
+type lawEntry struct {
+	once sync.Once
+	law  *xfer.Law // nil: shape not law-eligible, use the engine
+}
+
+type memoEntry struct {
+	once     sync.Once
+	res      xfer.Result
+	analytic bool
+	err      error
+}
+
+// machSession implements Source for one machine.
+type machSession struct {
+	m  *machine.Machine
+	mu sync.Mutex
+
+	laws map[lawKey]*lawEntry
+	memo map[memoKey]*memoEntry
+}
+
+func (ms *machSession) Transfer(kind xfer.Kind, x, y pattern.Spec, words int) (xfer.Result, bool, error) {
+	k := memoKey{kind: kind, x: x, y: y, words: words}
+	ms.mu.Lock()
+	e, ok := ms.memo[k]
+	if !ok {
+		e = &memoEntry{}
+		ms.memo[k] = e
+	}
+	ms.mu.Unlock()
+	e.once.Do(func() { e.res, e.analytic, e.err = ms.compute(kind, x, y, words) })
+	return e.res, e.analytic, e.err
+}
+
+// compute answers one transfer: by law when the shape admits one that
+// covers this word count, by the engine otherwise.
+func (ms *machSession) compute(kind xfer.Kind, x, y pattern.Spec, words int) (xfer.Result, bool, error) {
+	if p := xfer.PeriodOf(ms.m, kind, x, y); p > 0 {
+		if law := ms.law(kind, x, y, words%p); law != nil && law.Covers(words) {
+			res, err := law.Eval(words)
+			if err == nil {
+				return res, true, nil
+			}
+			// A law that cannot evaluate falls through to the engine;
+			// the engine remains the authority on every input.
+		}
+	}
+	res, err := runEngine(ms.m, kind, x, y, words)
+	return res, false, err
+}
+
+// law returns the fitted law for the shape and residue class, fitting
+// it on first need. nil means the shape did not certify.
+func (ms *machSession) law(kind xfer.Kind, x, y pattern.Spec, residue int) *xfer.Law {
+	k := lawKey{kind: kind, x: x, y: y, residue: residue}
+	ms.mu.Lock()
+	e, ok := ms.laws[k]
+	if !ok {
+		e = &lawEntry{}
+		ms.laws[k] = e
+	}
+	ms.mu.Unlock()
+	e.once.Do(func() { e.law = xfer.FitLaw(ms.m, kind, x, y, residue) })
+	return e.law
+}

@@ -78,6 +78,8 @@ func (m *Memory) engineRun(st *pattern.Stream, write bool) Result {
 	}
 	st.Reset()
 
+	res.ElapsedFs = t
+	res.DRAMBusyFs = m.dram.busy
 	res.ElapsedNs = toNs(t)
 	res.DRAMBusyNs = toNs(m.dram.busy)
 	res.RowHits = m.dram.rowHits - startRowHits

@@ -93,9 +93,17 @@ func ffEligible(st *pattern.Stream, L int64, lineBytes int) (rounds int64, ok bo
 	}
 }
 
-// ffPlan decides whether the (loads, stores) pair is eligible for
-// fast-forward and returns the combined period in rounds, or 0.
-func (m *Memory) ffPlan(loads, stores *pattern.Stream) int {
+// StreamPeriod returns the structural steady-state period of the
+// (loads, stores) pair in rounds (payload words per stream), or 0 when
+// the shape has no exact recurring state under this configuration. It
+// is the shape-eligibility half of the fast-forward plan — everything
+// except the minimum-length gate — exported so the analytic sweep layer
+// (internal/xfer law fitting) can reuse the exact same applicability
+// rule: a pair is law-eligible at SOME length iff StreamPeriod > 0.
+// The disjointness check uses the given streams' footprints, so callers
+// extrapolating to longer runs must re-check overlap at the target
+// length.
+func (m *Memory) StreamPeriod(loads, stores *pattern.Stream) int {
 	if m.cfg.FastForward != FastForwardAuto || m.cfg.Policy == WriteBack {
 		return 0
 	}
@@ -124,9 +132,6 @@ func (m *Memory) ffPlan(loads, stores *pattern.Stream) int {
 			return 0
 		}
 	}
-	if words < ffMinPeriods*int(period) {
-		return 0
-	}
 	// Streams must not interfere through the cache or DRAM rows in an
 	// aperiodic way: require disjoint address regions.
 	if loads != nil && stores != nil {
@@ -137,6 +142,25 @@ func (m *Memory) ffPlan(loads, stores *pattern.Stream) int {
 		}
 	}
 	return int(period)
+}
+
+// ffPlan decides whether the (loads, stores) pair is eligible for
+// fast-forward and returns the combined period in rounds, or 0.
+func (m *Memory) ffPlan(loads, stores *pattern.Stream) int {
+	period := m.StreamPeriod(loads, stores)
+	if period == 0 {
+		return 0
+	}
+	words := 0
+	if loads != nil {
+		words = loads.Words()
+	} else if stores != nil {
+		words = stores.Words()
+	}
+	if words < ffMinPeriods*period {
+		return 0
+	}
+	return period
 }
 
 // ffLin indexes the linearly-advancing snapshot fields.

@@ -42,6 +42,21 @@ type Result struct {
 	CacheMisses  int64
 	RowHits      int64
 	RowMisses    int64
+
+	// ElapsedFs and DRAMBusyFs are the exact integer femtosecond forms
+	// of ElapsedNs and DRAMBusyNs. All simulator accounting is integer
+	// fs (see the fsPerNs notes above); the float fields are derived
+	// from these at the Result boundary, so two Results with equal Fs
+	// fields have bit-identical float fields. The analytic sweep layer
+	// extrapolates steady-state runs in the Fs domain for that reason.
+	ElapsedFs  int64
+	DRAMBusyFs int64
+	// FastForwarded reports that the run verified steady-state
+	// recurrence and extrapolated at least one whole period (ff.go).
+	// The affine word-count laws of the analytic sweep path require it
+	// on their probe runs: it certifies that the stream reached a
+	// recurring state within the probed prefix.
+	FastForwarded bool
 }
 
 // MBps returns the payload throughput in MB/s (1 MB = 1e6 bytes), the
@@ -176,6 +191,8 @@ func (m *Memory) beginRun() runBase {
 
 func (m *Memory) endRun(t int64, base runBase, res *Result) Result {
 	t = m.flush(t)
+	res.ElapsedFs = t
+	res.DRAMBusyFs = m.dram.busy
 	res.ElapsedNs = toNs(t)
 	res.DRAMBusyNs = toNs(m.dram.busy)
 	res.CacheHits = m.cache.hits - base.hits
@@ -301,6 +318,7 @@ func (m *Memory) runStreams(loads, stores *pattern.Stream, t int64, res *Result)
 				if n := int64(total-round) / int64(period); n > 0 {
 					t = m.ffJump(&snaps[1], &snaps[2], n, loads, stores, period, t, res)
 					round += int(n) * period
+					res.FastForwarded = true
 				}
 				probing = false
 			} else if nsnap >= ffMaxProbe {

@@ -177,11 +177,23 @@ type EvalResponse struct {
 // Eval answers an EvalRequest. Exactly one of List, Expr or Op must be
 // set (checked in that order, matching ctmodel's flag precedence).
 func Eval(r EvalRequest) (EvalResponse, error) {
+	return eval(r, nil)
+}
+
+// eval is the single Eval code path; a nil batch resolves the machine
+// and rebuilds the rate table per call (classic point query), a
+// non-nil one shares both across the batch. Identical responses either
+// way.
+func eval(r EvalRequest, b *Batch) (EvalResponse, error) {
 	r = r.Canon()
 	m := r.M
 	if m == nil {
 		var err error
-		m, err = ResolveMachine(r.Machine)
+		if b != nil {
+			m, err = b.Machine(r.Machine)
+		} else {
+			m, err = ResolveMachine(r.Machine)
+		}
 		if err != nil {
 			return EvalResponse{}, err
 		}
@@ -190,7 +202,13 @@ func Eval(r EvalRequest) (EvalResponse, error) {
 	if cong < 1 {
 		cong = m.DefaultCongestion
 	}
-	rt, err := rateTable(r.Rates, m)
+	var rt *model.RateTable
+	var err error
+	if b != nil {
+		rt, err = b.table(r.Rates, m)
+	} else {
+		rt, err = rateTable(r.Rates, m)
+	}
 	if err != nil {
 		return EvalResponse{}, err
 	}
@@ -354,6 +372,13 @@ func ParseDist(text string, n, p int) (distrib.Distribution, error) {
 
 // Plan answers a PlanRequest.
 func Plan(r PlanRequest) (PlanResponse, error) {
+	return plan(r, nil)
+}
+
+// plan is the single Plan code path; a non-nil batch shares machine
+// resolution. Plan execution itself always runs the engine (whole-plan
+// congestion is outside the analytic laws' scope).
+func plan(r PlanRequest, b *Batch) (PlanResponse, error) {
 	r = r.Canon()
 	if r.Transpose < 0 {
 		return PlanResponse{}, badf("transpose must be positive, got %d", r.Transpose)
@@ -366,7 +391,13 @@ func Plan(r PlanRequest) (PlanResponse, error) {
 	if r.P <= 0 {
 		return PlanResponse{}, badf("processor count p must be positive, got %d", r.P)
 	}
-	m, err := ResolveMachine(r.Machine)
+	var m *machine.Machine
+	var err error
+	if b != nil {
+		m, err = b.Machine(r.Machine)
+	} else {
+		m, err = ResolveMachine(r.Machine)
+	}
 	if err != nil {
 		return PlanResponse{}, err
 	}
@@ -525,32 +556,55 @@ type PriceResponse struct {
 
 // Price answers a PriceRequest.
 func Price(r PriceRequest) (PriceResponse, error) {
+	resp, _, err := price(r, nil)
+	return resp, err
+}
+
+// price is the single Price code path; a nil batch simulates on a
+// fresh node per stage (classic point query), a non-nil one runs
+// through the batch's comm session, which memoizes stages and answers
+// law-covered word counts analytically. The bool reports whether the
+// result is fully analytic (all memory stages law-derived, none
+// engine-simulated) — provenance only; responses are bit-identical
+// either way by the session's contract.
+func price(r PriceRequest, b *Batch) (PriceResponse, bool, error) {
 	r = r.Canon()
 	if r.Words <= 0 {
-		return PriceResponse{}, badf("words must be positive, got %d", r.Words)
+		return PriceResponse{}, false, badf("words must be positive, got %d", r.Words)
 	}
-	m, err := ResolveMachine(r.Machine)
+	var m *machine.Machine
+	var err error
+	if b != nil {
+		m, err = b.Machine(r.Machine)
+	} else {
+		m, err = ResolveMachine(r.Machine)
+	}
 	if err != nil {
-		return PriceResponse{}, err
+		return PriceResponse{}, false, err
 	}
 	style, err := comm.ParseStyle(r.Style)
 	if err != nil {
-		return PriceResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return PriceResponse{}, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	x, err := pattern.ParseSpec(r.X)
 	if err != nil {
-		return PriceResponse{}, fmt.Errorf("%w: x: %v", ErrBadRequest, err)
+		return PriceResponse{}, false, fmt.Errorf("%w: x: %v", ErrBadRequest, err)
 	}
 	y, err := pattern.ParseSpec(r.Y)
 	if err != nil {
-		return PriceResponse{}, fmt.Errorf("%w: y: %v", ErrBadRequest, err)
+		return PriceResponse{}, false, fmt.Errorf("%w: y: %v", ErrBadRequest, err)
 	}
-	res, err := comm.Run(m, style, x, y, comm.Options{
-		Words: r.Words, Congestion: r.Congestion, Duplex: r.Duplex,
-	})
+	opt := comm.Options{Words: r.Words, Congestion: r.Congestion, Duplex: r.Duplex}
+	var res comm.Result
+	if b != nil {
+		res, err = b.session.Run(m, style, x, y, opt)
+	} else {
+		res, err = comm.Run(m, style, x, y, opt)
+	}
 	if err != nil {
-		return PriceResponse{}, err
+		return PriceResponse{}, false, err
 	}
+	analytic := res.AnalyticStages > 0 && res.EngineStages == 0
 	resp := PriceResponse{
 		Machine:      res.Machine,
 		Style:        res.Style.String(),
@@ -568,5 +622,5 @@ func Price(r PriceRequest) (PriceResponse, error) {
 	}
 	resp.Text = fmt.Sprintf("%s %s on %s: %.1f MB/s per node  (%.1f us, %d words, congestion %.0f)\n",
 		resp.Style, resp.Op, resp.Machine, resp.MBps, resp.ElapsedUs, resp.Words, resp.Congestion)
-	return resp, nil
+	return resp, analytic, nil
 }

@@ -50,7 +50,10 @@ type CacheStats struct {
 type SweepStats struct {
 	Cells  int64 `json:"cells"`  // rows streamed, error rows included
 	Cached int64 `json:"cached"` // cells answered from the result cache
-	Failed int64 `json:"failed"` // cells that produced an error row
+	// Analytic counts cells answered by closed-form word-count laws
+	// with no engine simulation (bit-identical to it by contract).
+	Analytic int64 `json:"analytic"`
+	Failed   int64 `json:"failed"` // cells that produced an error row
 }
 
 // QueueStats reports worker-pool admission control.

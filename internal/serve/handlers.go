@@ -166,11 +166,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // client knows the sweep finished (and whether it was cut short) by
 // seeing done=true.
 type sweepSummary struct {
-	Done   bool   `json:"done"`
-	Cells  int    `json:"cells"`
-	Cached int    `json:"cached"`
-	Failed int    `json:"failed"`
-	Error  string `json:"error,omitempty"`
+	Done     bool   `json:"done"`
+	Cells    int    `json:"cells"`
+	Cached   int    `json:"cached"`
+	Analytic int    `json:"analytic"`
+	Failed   int    `json:"failed"`
+	Error    string `json:"error,omitempty"`
 }
 
 // handleSweep answers POST /v1/sweep: a batched grid of queries,
@@ -210,6 +211,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.metrics.sweepFailed.Add(1)
 		case row.Cached:
 			s.metrics.sweepCached.Add(1)
+		case row.Analytic:
+			s.metrics.sweepAnalytic.Add(1)
 		}
 		if err := enc.Encode(row); err != nil {
 			return err
@@ -224,7 +227,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Runner:  s.sweepCell,
 		Submit:  s.submitChunk,
 	}, emit)
-	sum := sweepSummary{Done: true, Cells: stats.Cells, Cached: stats.Cached, Failed: stats.Failed}
+	sum := sweepSummary{Done: true, Cells: stats.Cells, Cached: stats.Cached,
+		Analytic: stats.Analytic, Failed: stats.Failed}
 	if err != nil {
 		sum.Error = err.Error()
 	}

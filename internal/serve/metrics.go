@@ -59,9 +59,10 @@ type metrics struct {
 	rejected   atomic.Int64
 	inflight   atomic.Int64
 
-	sweepCells  atomic.Int64
-	sweepCached atomic.Int64
-	sweepFailed atomic.Int64
+	sweepCells    atomic.Int64
+	sweepCached   atomic.Int64
+	sweepAnalytic atomic.Int64
+	sweepFailed   atomic.Int64
 }
 
 func newMetrics(endpoints []string) *metrics {
@@ -162,6 +163,9 @@ func (m *metrics) writePrometheus(w io.Writer, cache *lruCache, queueCap, worker
 	appendf("# HELP ctserved_sweep_cells_cached_total Sweep cells answered from the result cache.\n")
 	appendf("# TYPE ctserved_sweep_cells_cached_total counter\n")
 	appendf("ctserved_sweep_cells_cached_total %d\n", m.sweepCached.Load())
+	appendf("# HELP ctserved_sweep_cells_analytic_total Sweep cells answered by closed-form word-count laws (no engine simulation).\n")
+	appendf("# TYPE ctserved_sweep_cells_analytic_total counter\n")
+	appendf("ctserved_sweep_cells_analytic_total %d\n", m.sweepAnalytic.Load())
 	appendf("# HELP ctserved_sweep_cells_failed_total Sweep cells that produced an error row.\n")
 	appendf("# TYPE ctserved_sweep_cells_failed_total counter\n")
 	appendf("ctserved_sweep_cells_failed_total %d\n", m.sweepFailed.Load())
@@ -239,9 +243,10 @@ func (m *metrics) snapshot(cache *lruCache, queueCap, workers int) *runstats.Ser
 		ByteCapacity: cache.maxBytes,
 	}
 	s.Sweep = runstats.SweepStats{
-		Cells:  m.sweepCells.Load(),
-		Cached: m.sweepCached.Load(),
-		Failed: m.sweepFailed.Load(),
+		Cells:    m.sweepCells.Load(),
+		Cached:   m.sweepCached.Load(),
+		Analytic: m.sweepAnalytic.Load(),
+		Failed:   m.sweepFailed.Load(),
 	}
 	s.Queue = runstats.QueueStats{
 		Depth:    m.queueDepth.Load(),

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"ctcomm/internal/query"
 	"ctcomm/internal/runstats"
 	"ctcomm/internal/sweep"
 )
@@ -274,27 +275,30 @@ func (s *Server) submitChunk(ctx context.Context, run func()) error {
 // cell's in-flight execution. Unlike do, a cell NEVER waits on another
 // in-flight leader: the leader's job may be queued behind the very
 // worker this cell occupies, so waiting could stall the pool; the rare
-// duplicate execution is cheaper than that.
-func (s *Server) sweepCell(ctx context.Context, c sweep.Cell) (interface{}, bool, error) {
+// duplicate execution is cheaper than that. Misses evaluate through
+// the sweep's shared batch b — bit-identical to the point query by the
+// batch contract, so the LRU stays coherent across point and sweep
+// paths.
+func (s *Server) sweepCell(ctx context.Context, b *query.Batch, c sweep.Cell) (interface{}, bool, bool, error) {
 	key := c.Fingerprint()
 	if v, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		return v, true, nil
+		return v, true, false, nil
 	}
 	s.flightMu.Lock()
 	if _, inFlight := s.flight[key]; inFlight {
 		s.flightMu.Unlock()
-		val, err := c.Exec()
-		return val, false, err
+		val, analytic, err := c.ExecBatch(b)
+		return val, false, analytic, err
 	}
 	cl := &call{done: make(chan struct{})}
 	s.flight[key] = cl
 	s.flightMu.Unlock()
 	s.metrics.cacheMisses.Add(1)
 
-	val, err := c.Exec()
+	val, analytic, err := c.ExecBatch(b)
 	s.publish(key, cl, val, err)
-	return val, false, err
+	return val, false, analytic, err
 }
 
 // Snapshot returns the observability counters as a JSON-ready dump.

@@ -470,3 +470,44 @@ func (w *responseRecorderLite) Write(p []byte) (int, error) {
 	w.n += int64(len(p))
 	return len(p), nil
 }
+
+// TestSweepAnalyticAccounting pins the NDJSON-path provenance plumbing:
+// a law-covered price grid reports analytic cells in the per-row flag,
+// the terminal summary, /metrics and the stats snapshot — and a repeat
+// of the same sweep reports them as cached instead (a cache hit is not
+// an evaluation).
+func TestSweepAnalyticAccounting(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Contiguous ops at >= 16 periods of the largest machine period are
+	// law-covered on both machines (see internal/xfer law coverage).
+	body := `{"kind":"price","machines":["t3d","paragon"],"ops":["1Q1"],"words":[131072,163840]}`
+	w := post(s, "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("code = %d, body %s", w.Code, w.Body)
+	}
+	rows, sum := parseNDJSON(t, w.Body.String())
+	if sum.Cells != 4 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Analytic != 4 {
+		t.Errorf("summary analytic = %d, want 4 (all cells law-covered)", sum.Analytic)
+	}
+	for _, r := range rows {
+		if !r.Analytic {
+			t.Errorf("row %d not marked analytic: %+v", r.Index, r)
+		}
+	}
+	m := get(s, "/metrics").Body.String()
+	if !strings.Contains(m, "ctserved_sweep_cells_analytic_total 4") {
+		t.Errorf("metrics missing analytic counter:\n%s", m)
+	}
+	if st := s.Snapshot(); st.Sweep.Analytic != 4 {
+		t.Errorf("snapshot analytic = %d, want 4", st.Sweep.Analytic)
+	}
+
+	// Repeat: cache hits, not analytic evaluations.
+	_, sum2 := parseNDJSON(t, post(s, "/v1/sweep", body).Body.String())
+	if sum2.Cached != 4 || sum2.Analytic != 0 {
+		t.Errorf("repeat summary = %+v, want 4 cached / 0 analytic", sum2)
+	}
+}

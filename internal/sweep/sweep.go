@@ -112,29 +112,62 @@ func (c Cell) Fingerprint() string {
 	return "sweep|empty"
 }
 
-// Exec answers the cell through the query core.
+// Exec answers the cell through the query core as an independent point
+// query — the reference evaluation the batch path must reproduce byte
+// for byte.
 func (c Cell) Exec() (interface{}, error) {
+	val, _, err := c.ExecBatch(nil)
+	return val, err
+}
+
+// ExecBatch answers the cell through batch b; nil b is the point-query
+// path. The bool reports whether the answer was fully analytic (every
+// memory stage derived from a bitwise-verified word-count law, none
+// engine-simulated) — provenance only: by the batch contract the
+// response, including its rendered Text, is identical either way.
+func (c Cell) ExecBatch(b *query.Batch) (interface{}, bool, error) {
 	switch {
 	case c.Eval != nil:
+		if b != nil {
+			r, analytic, err := b.Eval(*c.Eval)
+			if err != nil {
+				return nil, false, err
+			}
+			return r, analytic, nil
+		}
 		r, err := query.Eval(*c.Eval)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return r, nil
+		return r, false, nil
 	case c.Price != nil:
+		if b != nil {
+			r, analytic, err := b.Price(*c.Price)
+			if err != nil {
+				return nil, false, err
+			}
+			return r, analytic, nil
+		}
 		r, err := query.Price(*c.Price)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return r, nil
+		return r, false, nil
 	case c.Plan != nil:
+		if b != nil {
+			r, analytic, err := b.Plan(*c.Plan)
+			if err != nil {
+				return nil, false, err
+			}
+			return r, analytic, nil
+		}
 		r, err := query.Plan(*c.Plan)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return r, nil
+		return r, false, nil
 	}
-	return nil, badf("empty cell")
+	return nil, false, badf("empty cell")
 }
 
 // Row is one per-cell result. The request echo (EvalReq/PriceReq/
@@ -142,9 +175,15 @@ func (c Cell) Exec() (interface{}, error) {
 // set. The response is the same struct a point query returns, so its
 // Text field is byte-identical to the CLI output for the same inputs.
 type Row struct {
-	Index  int    `json:"index"`
-	Cached bool   `json:"cached,omitempty"`
-	Err    string `json:"error,omitempty"`
+	Index  int  `json:"index"`
+	Cached bool `json:"cached,omitempty"`
+	// Analytic reports that this cell was answered from the batch's
+	// closed-form word-count laws without any engine simulation. It is
+	// provenance, not a result: analytic rows are bit-identical to
+	// engine rows (TestSweepAnalyticBitIdentical). Cache hits report
+	// false — a cached row is not an evaluation.
+	Analytic bool   `json:"analytic,omitempty"`
+	Err      string `json:"error,omitempty"`
 
 	EvalReq  *query.EvalRequest  `json:"eval_request,omitempty"`
 	PriceReq *query.PriceRequest `json:"price_request,omitempty"`
@@ -156,11 +195,13 @@ type Row struct {
 }
 
 // Stats summarizes an executed sweep: how many rows were emitted, how
-// many were served from a cache, and how many carry an error.
+// many were served from a cache, how many were answered analytically,
+// and how many carry an error.
 type Stats struct {
-	Cells  int `json:"cells"`
-	Cached int `json:"cached"`
-	Failed int `json:"failed"`
+	Cells    int `json:"cells"`
+	Cached   int `json:"cached"`
+	Analytic int `json:"analytic"`
+	Failed   int `json:"failed"`
 }
 
 // --- Expansion ---------------------------------------------------------
@@ -380,13 +421,16 @@ func splitOp(op string) (x, y string, err error) {
 
 // --- Execution ---------------------------------------------------------
 
-// Runner executes one cell, returning the response value
+// Runner executes one cell against the sweep's shared batch context b
+// (nil when Options.Engine disabled it), returning the response value
 // (query.EvalResponse, PriceResponse or PlanResponse), whether it was
-// served from a cache, and the cell's error if it is invalid or fails.
-type Runner func(ctx context.Context, c Cell) (val interface{}, cached bool, err error)
+// served from a cache, whether it was answered analytically, and the
+// cell's error if it is invalid or fails.
+type Runner func(ctx context.Context, b *query.Batch, c Cell) (val interface{}, cached, analytic bool, err error)
 
 // Options parameterizes Run. The zero value runs cells on a private
-// goroutine pool with a per-sweep memo cache.
+// goroutine pool with a per-sweep memo cache and a per-sweep batch
+// context.
 type Options struct {
 	// Runner executes one cell; nil selects DirectRunner().
 	Runner Runner
@@ -400,6 +444,12 @@ type Options struct {
 	// It must either run the closure (on any goroutine) or return an
 	// error; Run still bounds the chunks in flight by Workers.
 	Submit func(ctx context.Context, run func()) error
+	// Engine disables the shared batch context: every cell is evaluated
+	// as an independent point query — machine re-resolved, rate table
+	// rebuilt, every memory stage engine-simulated. This is the pre-batch
+	// behavior; the differential tests and `ctmodel -sweep-engine` use it
+	// as the reference the batch path must match byte for byte.
+	Engine bool
 }
 
 func (o Options) withDefaults(cells int) Options {
@@ -426,29 +476,29 @@ func DirectRunner() Runner {
 		err error
 	}
 	memo := map[string]memoEntry{}
-	return func(ctx context.Context, c Cell) (interface{}, bool, error) {
+	return func(ctx context.Context, b *query.Batch, c Cell) (interface{}, bool, bool, error) {
 		key := c.Fingerprint()
 		mu.Lock()
 		if e, ok := memo[key]; ok {
 			mu.Unlock()
-			return e.val, true, e.err
+			return e.val, true, false, e.err
 		}
 		mu.Unlock()
-		val, err := c.Exec()
+		val, analytic, err := c.ExecBatch(b)
 		mu.Lock()
 		memo[key] = memoEntry{val, err}
 		mu.Unlock()
-		return val, false, err
+		return val, false, analytic, err
 	}
 }
 
 // buildRow folds one executed cell into its row.
-func buildRow(c Cell, val interface{}, cached bool, err error) Row {
-	row := Row{Index: c.Index, Cached: cached,
+func buildRow(c Cell, val interface{}, cached, analytic bool, err error) Row {
+	row := Row{Index: c.Index, Cached: cached, Analytic: analytic,
 		EvalReq: c.Eval, PriceReq: c.Price, PlanReq: c.Plan}
 	if err != nil {
 		row.Err = err.Error()
-		row.Cached = false
+		row.Cached, row.Analytic = false, false
 		return row
 	}
 	switch v := val.(type) {
@@ -475,6 +525,13 @@ func buildRow(c Cell, val interface{}, cached bool, err error) Row {
 // emit is called from the Run goroutine only, never concurrently.
 func Run(ctx context.Context, cells []Cell, opt Options, emit func(Row) error) (Stats, error) {
 	opt = opt.withDefaults(len(cells))
+	// One batch context per sweep: machines resolve and rate tables
+	// convert once per outermost shard of work, and every cell shares
+	// the batch's comm session (stage memoization + analytic laws).
+	var batch *query.Batch
+	if !opt.Engine {
+		batch = query.NewBatch()
+	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -499,9 +556,9 @@ func Run(ctx context.Context, cells []Cell, opt Options, emit func(Row) error) (
 					if cctx.Err() != nil {
 						return
 					}
-					val, cached, err := opt.Runner(cctx, c)
+					val, cached, analytic, err := opt.Runner(cctx, batch, c)
 					select {
-					case rowCh <- buildRow(c, val, cached, err):
+					case rowCh <- buildRow(c, val, cached, analytic, err):
 					case <-cctx.Done():
 						return
 					}
@@ -553,6 +610,8 @@ func Run(ctx context.Context, cells []Cell, opt Options, emit func(Row) error) (
 				stats.Failed++
 			case r.Cached:
 				stats.Cached++
+			case r.Analytic:
+				stats.Analytic++
 			}
 		}
 	}

@@ -14,8 +14,8 @@ import (
 // a partially failed sweep still renders every row.
 func Table(s Spec, rows []Row, st Stats) *table.Table {
 	t := &table.Table{
-		Title: fmt.Sprintf("sweep %s: %d cells (%d cached, %d failed)",
-			s.kind(), st.Cells, st.Cached, st.Failed),
+		Title: fmt.Sprintf("sweep %s: %d cells (%d cached, %d analytic, %d failed)",
+			s.kind(), st.Cells, st.Cached, st.Analytic, st.Failed),
 	}
 	switch s.kind() {
 	case "price":

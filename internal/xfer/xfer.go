@@ -11,6 +11,13 @@
 // node's memory system and returns elapsed simulated time plus how long
 // each node resource (processor, DRAM, engine) was held, which is what
 // the composition rules of the model need.
+//
+// Every transfer splits into a memory-system half (exact integer-fs
+// simulation, behind the MemRunner seam) and a float post-math half
+// (port costs, NI clamps, engine setup). The *On variants expose the
+// seam so the analytic sweep layer (law.go) can substitute an
+// extrapolated memsim.Result and still run the identical post-math,
+// which is what makes analytic results bit-identical to engine runs.
 package xfer
 
 import (
@@ -32,6 +39,16 @@ type Result struct {
 
 // MBps returns payload throughput in MB/s.
 func (r Result) MBps() float64 { return memsim.MBps(r.PayloadBytes, r.ElapsedNs) }
+
+// MemRunner is the memory-system backend of a basic transfer: the
+// subset of *memsim.Memory the transfer functions drive. The analytic
+// law layer substitutes a constant-result implementation to replay an
+// extrapolated steady-state run through the identical post-math.
+type MemRunner interface {
+	RunStream(loads, stores *pattern.Stream, policy memsim.InterleavePolicy) memsim.Result
+	EngineRead(st *pattern.Stream) memsim.Result
+	EngineWrite(st *pattern.Stream) memsim.Result
+}
 
 // Default buffer placement: source, destination and index regions live
 // in distinct memory areas so streams do not alias.
@@ -62,11 +79,15 @@ func streams(read, write pattern.Spec, words int) (r, w *pattern.Stream) {
 // access they serve — the unrolled, optimally scheduled load/store loop
 // of the xCy copy (memsim.InterleaveWordwise).
 func Copy(n *machine.Node, read, write pattern.Spec, words int) (Result, error) {
+	return CopyOn(n.M, n.Mem, read, write, words)
+}
+
+// CopyOn is Copy with an explicit memory backend.
+func CopyOn(m *machine.Machine, mem MemRunner, read, write pattern.Spec, words int) (Result, error) {
 	if !read.IsMemory() || !write.IsMemory() {
 		return Result{}, fmt.Errorf("xfer: Copy requires memory patterns, got %v -> %v", read, write)
 	}
-	rs, ws := streams(read, write, words)
-	res := n.Mem.RunStream(rs, ws.ForWrites(), memsim.InterleaveWordwise)
+	res := memPart(mem, KindCopy, read, write, words)
 	return Result{
 		PayloadBytes: int64(words) * pattern.WordBytes,
 		ElapsedNs:    res.ElapsedNs,
@@ -80,14 +101,18 @@ func Copy(n *machine.Node, read, write pattern.Spec, words int) (Result, error) 
 // processor time; the overall rate is additionally capped by the NI
 // injection bandwidth.
 func LoadSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
+	return LoadSendOn(n.M, n.Mem, read, words)
+}
+
+// LoadSendOn is LoadSend with an explicit memory backend.
+func LoadSendOn(m *machine.Machine, mem MemRunner, read pattern.Spec, words int) (Result, error) {
 	if !read.IsMemory() {
 		return Result{}, fmt.Errorf("xfer: LoadSend requires a memory read pattern, got %v", read)
 	}
-	rs, _ := streams(read, pattern.Contig(), words)
-	res := n.Mem.RunStream(rs, nil, memsim.InterleaveWordwise)
-	elapsed := res.ElapsedNs + float64(words)*n.M.NI.PortStoreNs
+	res := memPart(mem, KindLoadSend, read, pattern.Spec{}, words)
+	elapsed := res.ElapsedNs + float64(words)*m.NI.PortStoreNs
 	payload := int64(words) * pattern.WordBytes
-	if lim := float64(payload) * 1e3 / n.M.NI.InjectMBps; elapsed < lim {
+	if lim := float64(payload) * 1e3 / m.NI.InjectMBps; elapsed < lim {
 		elapsed = lim
 	}
 	return Result{
@@ -102,20 +127,25 @@ func LoadSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
 // background and feeds the network. It fails if the node has no engine
 // or the engine cannot handle the pattern.
 func FetchSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
-	if !n.M.Fetch.Supports(read) {
-		return Result{}, fmt.Errorf("xfer: %s fetch engine cannot read pattern %v", n.M.Name, read)
+	return FetchSendOn(n.M, n.Mem, read, words)
+}
+
+// FetchSendOn is FetchSend with an explicit memory backend.
+func FetchSendOn(m *machine.Machine, mem MemRunner, read pattern.Spec, words int) (Result, error) {
+	if !m.Fetch.Supports(read) {
+		return Result{}, fmt.Errorf("xfer: %s fetch engine cannot read pattern %v", m.Name, read)
 	}
-	rs, _ := streams(read, pattern.Contig(), words)
-	res := n.Mem.EngineRead(rs)
+	res := memPart(mem, KindFetchSend, read, pattern.Spec{}, words)
 	payload := int64(words) * pattern.WordBytes
 	elapsed := res.ElapsedNs
-	if lim := float64(payload) * 1e3 / n.M.Fetch.RateMBps; elapsed < lim {
+	if lim := float64(payload) * 1e3 / m.Fetch.RateMBps; elapsed < lim {
 		elapsed = lim
 	}
-	if lim := float64(payload) * 1e3 / n.M.NI.InjectMBps; elapsed < lim {
+	if lim := float64(payload) * 1e3 / m.NI.InjectMBps; elapsed < lim {
 		elapsed = lim
 	}
-	cpu := n.M.Fetch.SetupNs + float64(pages(rs, n.M.Mem.PageBytes))*n.M.Fetch.KickNs
+	rs, _ := streams(read, pattern.Contig(), words)
+	cpu := m.Fetch.SetupNs + float64(pages(rs, m.Mem.PageBytes))*m.Fetch.KickNs
 	return Result{
 		PayloadBytes: payload,
 		ElapsedNs:    elapsed + cpu, // setup/kicks serialize with the stream
@@ -129,15 +159,18 @@ func FetchSend(n *machine.Node, read pattern.Spec, words int) (Result, error) {
 // network port and stores them with pattern write. Addresses arrive with
 // the data (or are generated locally), so no index overhead loads occur.
 func RecvStore(n *machine.Node, write pattern.Spec, words int) (Result, error) {
+	return RecvStoreOn(n.M, n.Mem, write, words)
+}
+
+// RecvStoreOn is RecvStore with an explicit memory backend.
+func RecvStoreOn(m *machine.Machine, mem MemRunner, write pattern.Spec, words int) (Result, error) {
 	if !write.IsMemory() {
 		return Result{}, fmt.Errorf("xfer: RecvStore requires a memory write pattern, got %v", write)
 	}
-	_, ws := streams(pattern.Contig(), write, words)
-	// No overhead loads: the scatter addresses come off the wire.
-	res := n.Mem.RunStream(nil, ws.ForWrites().NoIndexOverhead(), memsim.InterleaveWordwise)
-	elapsed := res.ElapsedNs + float64(words)*n.M.NI.PortLoadNs
+	res := memPart(mem, KindRecvStore, pattern.Spec{}, write, words)
+	elapsed := res.ElapsedNs + float64(words)*m.NI.PortLoadNs
 	payload := int64(words) * pattern.WordBytes
-	if lim := float64(payload) * 1e3 / n.M.NI.EjectMBps; elapsed < lim {
+	if lim := float64(payload) * 1e3 / m.NI.EjectMBps; elapsed < lim {
 		elapsed = lim
 	}
 	return Result{
@@ -152,17 +185,22 @@ func RecvStore(n *machine.Node, write pattern.Spec, words int) (Result, error) {
 // (or a contiguous block) off the network and stores them in the
 // background. It fails if the engine cannot handle the pattern.
 func RecvDeposit(n *machine.Node, write pattern.Spec, words int) (Result, error) {
-	if !n.M.Deposit.Supports(write) {
-		return Result{}, fmt.Errorf("xfer: %s deposit engine cannot write pattern %v", n.M.Name, write)
+	return RecvDepositOn(n.M, n.Mem, write, words)
+}
+
+// RecvDepositOn is RecvDeposit with an explicit memory backend.
+func RecvDepositOn(m *machine.Machine, mem MemRunner, write pattern.Spec, words int) (Result, error) {
+	if !m.Deposit.Supports(write) {
+		return Result{}, fmt.Errorf("xfer: %s deposit engine cannot write pattern %v", m.Name, write)
 	}
-	_, ws := streams(pattern.Contig(), write, words)
-	res := n.Mem.EngineWrite(ws)
+	res := memPart(mem, KindRecvDeposit, pattern.Spec{}, write, words)
 	payload := int64(words) * pattern.WordBytes
 	elapsed := res.ElapsedNs
-	if lim := float64(payload) * 1e3 / n.M.NI.EjectMBps; elapsed < lim {
+	if lim := float64(payload) * 1e3 / m.NI.EjectMBps; elapsed < lim {
 		elapsed = lim
 	}
-	cpu := n.M.Deposit.SetupNs + float64(pages(ws, n.M.Mem.PageBytes))*n.M.Deposit.KickNs
+	_, ws := streams(pattern.Contig(), write, words)
+	cpu := m.Deposit.SetupNs + float64(pages(ws, m.Mem.PageBytes))*m.Deposit.KickNs
 	return Result{
 		PayloadBytes: payload,
 		ElapsedNs:    elapsed + cpu,
@@ -170,6 +208,35 @@ func RecvDeposit(n *machine.Node, write pattern.Spec, words int) (Result, error)
 		DRAMNs:       res.DRAMBusyNs,
 		EngineNs:     elapsed,
 	}, nil
+}
+
+// memPart runs the memory-system half of one basic transfer. Stream
+// construction lives here, in ONE place, so the engine path, the law
+// prober and the analytic replay all drive byte-identical schedules.
+// x is the read-side pattern (Copy, LoadSend, FetchSend), y the
+// write-side pattern (Copy, RecvStore, RecvDeposit); the unused side is
+// ignored.
+func memPart(mem MemRunner, kind Kind, x, y pattern.Spec, words int) memsim.Result {
+	switch kind {
+	case KindCopy:
+		rs, ws := streams(x, y, words)
+		return mem.RunStream(rs, ws.ForWrites(), memsim.InterleaveWordwise)
+	case KindLoadSend:
+		rs, _ := streams(x, pattern.Contig(), words)
+		return mem.RunStream(rs, nil, memsim.InterleaveWordwise)
+	case KindFetchSend:
+		rs, _ := streams(x, pattern.Contig(), words)
+		return mem.EngineRead(rs)
+	case KindRecvStore:
+		_, ws := streams(pattern.Contig(), y, words)
+		// No overhead loads: the scatter addresses come off the wire.
+		return mem.RunStream(nil, ws.ForWrites().NoIndexOverhead(), memsim.InterleaveWordwise)
+	case KindRecvDeposit:
+		_, ws := streams(pattern.Contig(), y, words)
+		return mem.EngineWrite(ws)
+	default:
+		panic(fmt.Sprintf("xfer: unknown transfer kind %v", kind))
+	}
 }
 
 // pages returns how many DRAM pages the stream touches (the unit of

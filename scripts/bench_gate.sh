@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench_gate.sh — sweep-throughput regression gate.
+#
+# Compares a fresh BenchmarkSweep run against the most recent
+# BenchmarkSweep entry in the checked-in BENCH_sweep.json trajectory
+# and FAILS when rows/sec regresses by more than 25%. Run by the CI
+# bench-gate job on every PR and mirrored locally by `make ci`.
+#
+# Intentional regressions (e.g. a correctness fix that costs
+# throughput): apply the `bench-regression-ok` label to the PR — the CI
+# job maps it to ALLOW_BENCH_REGRESSION=1, which downgrades the failure
+# to a warning — and record the new baseline with `make bench-record`
+# in the same PR so the trajectory documents the step.
+#
+# Environment: GO (default "go"), ALLOW_BENCH_REGRESSION (default 0),
+# BENCH_GATE_RUNS (best-of runs, default 3, tempering scheduler noise).
+set -eu
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+RUNS="${BENCH_GATE_RUNS:-3}"
+BASELINE_FILE="BENCH_sweep.json"
+
+baseline="$(grep '"name":"BenchmarkSweep"' "$BASELINE_FILE" | tail -1 \
+	| sed -n 's/.*"rows_per_sec":\([0-9.eE+]*\).*/\1/p')"
+if [ -z "$baseline" ]; then
+	echo "bench_gate: no BenchmarkSweep rows_per_sec baseline in $BASELINE_FILE" >&2
+	echo "bench_gate: record one with 'make bench-record' and commit it" >&2
+	exit 1
+fi
+
+best=0
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+	i=$((i + 1))
+	out="$("$GO" test -bench 'BenchmarkSweep$' -benchtime 1x -run '^$' ./internal/sweep/)"
+	cur="$(printf '%s\n' "$out" | awk '$1 ~ /^BenchmarkSweep/ {
+		for (i = 1; i < NF; i++) if ($(i + 1) == "rows/sec") print $i }')"
+	if [ -z "$cur" ]; then
+		echo "bench_gate: BenchmarkSweep reported no rows/sec:" >&2
+		printf '%s\n' "$out" >&2
+		exit 1
+	fi
+	echo "run $i/$RUNS: $cur rows/sec"
+	best="$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b > a) ? b : a }')"
+done
+
+echo "bench_gate: best $best rows/sec, baseline $baseline rows/sec (threshold: 75% of baseline)"
+ok="$(awk -v cur="$best" -v base="$baseline" 'BEGIN { print (cur >= 0.75 * base) ? 1 : 0 }')"
+if [ "$ok" = "1" ]; then
+	echo "bench_gate: PASS"
+	exit 0
+fi
+if [ "${ALLOW_BENCH_REGRESSION:-0}" = "1" ]; then
+	echo "bench_gate: REGRESSION >25% but ALLOW_BENCH_REGRESSION=1 (bench-regression-ok label); passing with a warning" >&2
+	exit 0
+fi
+echo "bench_gate: FAIL — BenchmarkSweep regressed more than 25% vs the checked-in baseline." >&2
+echo "bench_gate: if intentional, apply the 'bench-regression-ok' PR label and re-record" >&2
+echo "bench_gate: the baseline with 'make bench-record' in the same PR." >&2
+exit 1

@@ -52,11 +52,11 @@ echo "serve-smoke: cache hit on repeat confirmed ($HITS hits, 1 miss)"
 # the result cache.
 SWEEP='{"kind":"eval","machines":["t3d","paragon"],"ops":["1Q64","1Q1"]}'
 S1=$(curl -fsS -X POST -d "$SWEEP" "$BASE/v1/sweep") || fail "first /v1/sweep"
-echo "$S1" | grep -q '"done":true,"cells":4,"cached":0,"failed":0' \
+echo "$S1" | grep -q '"done":true,"cells":4,"cached":0,"analytic":[0-9]*,"failed":0' \
     || fail "cold sweep summary wrong: $(echo "$S1" | tail -n1)"
 S2=$(curl -fsS -X POST -d "$SWEEP" "$BASE/v1/sweep") || fail "second /v1/sweep"
 echo "$S2" | grep -q '"cached":true' || fail "repeated sweep has no cached cell"
-echo "$S2" | grep -q '"done":true,"cells":4,"cached":4,"failed":0' \
+echo "$S2" | grep -q '"done":true,"cells":4,"cached":4,"analytic":0,"failed":0' \
     || fail "warm sweep summary wrong: $(echo "$S2" | tail -n1)"
 SWEEPCACHED=$(curl -fsS "$BASE/metrics" | sed -n 's/^ctserved_sweep_cells_cached_total \([0-9]*\)$/\1/p')
 [ "${SWEEPCACHED:-0}" -ge 1 ] || fail "expected >= 1 cached sweep cell in /metrics, got '$SWEEPCACHED'"
