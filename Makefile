@@ -4,7 +4,7 @@ GO ?= go
 J ?= 4
 CIOUT ?= ci-out
 
-.PHONY: all build test test-short bench bench-hotpath bench-serve sweep-bench bench-record bench-gate experiments fuzz fuzz-smoke gofmt-check race serve-smoke ci clean
+.PHONY: all build test test-short bench bench-hotpath bench-serve sweep-bench bench-record bench-gate experiments fuzz fuzz-smoke gofmt-check race serve-smoke router-smoke load-test ci clean
 
 all: build test
 
@@ -63,6 +63,20 @@ experiments:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# End-to-end smoke test of the sharded tier over real sockets: two
+# persisted ctserved replicas behind ctrouter, shard-stable cache hits,
+# replica-kill failover, and a warm cold-restart. Mirrors the CI
+# router-smoke job.
+router-smoke:
+	sh scripts/router_smoke.sh
+
+# Scale-out acceptance: 1 vs 4 replicas behind the router in-process,
+# mixed eval/sweep workload, then a cold restart replayed against the
+# persisted caches. Prints machine-readable JSON; fails unless
+# throughput scales >=3x and >=90% of restart answers come back warm.
+load-test:
+	$(GO) run ./cmd/ctloadtest
+
 fuzz:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/model/
 	$(GO) test -fuzz 'FuzzParseTerm$$' -fuzztime 15s ./internal/model/
@@ -92,7 +106,7 @@ race:
 # byte-identical with and without -no-fast-forward), the fuzz smoke
 # pass, the one-iteration bench sweep, and the sweep-throughput
 # regression gate against the checked-in BENCH_sweep.json baseline.
-ci: build gofmt-check test race serve-smoke
+ci: build gofmt-check test race serve-smoke router-smoke
 	mkdir -p $(CIOUT)
 	$(GO) run ./cmd/experiments -quick -check -j $(J) -stats $(CIOUT)/experiments-stats.json
 	$(GO) run ./cmd/experiments -quick -check -only tab1,tab2,tab3,fig4 -j $(J) > $(CIOUT)/ff-on.txt 2>/dev/null

@@ -1,0 +1,74 @@
+// Command ctloadtest measures the serving tier's scale-out claims:
+// it boots a single replica and then an N-replica fleet behind the
+// router in-process, drives the same mixed eval/sweep workload at
+// both, restarts the fleet cold against its persisted caches, and
+// prints a machine-readable JSON verdict.
+//
+//	ctloadtest -replicas 4 -items 600
+//	make load-test
+//
+// The exit status is 0 when the run passes both acceptance bars
+// (aggregate throughput scaling and warm-hit ratio after the cold
+// restart), 1 when it does not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ctcomm/internal/loadtest"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctloadtest:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out, logw io.Writer) (int, error) {
+	fs := flag.NewFlagSet("ctloadtest", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	replicas := fs.Int("replicas", 4, "fleet size for the scaled phase")
+	items := fs.Int("items", 600, "workload items (every -sweep-every'th is a 4-cell sweep)")
+	sweepEvery := fs.Int("sweep-every", 40, "sweep cadence in items (negative disables sweeps)")
+	concurrency := fs.Int("concurrency", 32, "driver goroutines")
+	floor := fs.Duration("floor", 12*time.Millisecond, "emulated per-cell service time")
+	minScaling := fs.Float64("min-scaling", 3.0, "required fleet/single throughput ratio")
+	minWarm := fs.Float64("min-warm-ratio", 0.9, "required warm cache-hit ratio after restart")
+	quiet := fs.Bool("q", false, "suppress progress lines")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	logf := func(format string, a ...interface{}) { fmt.Fprintf(logw, "ctloadtest: "+format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	res, err := loadtest.Run(loadtest.Options{
+		Replicas:     *replicas,
+		Items:        *items,
+		SweepEvery:   *sweepEvery,
+		Concurrency:  *concurrency,
+		ServiceFloor: *floor,
+		MinScaling:   *minScaling,
+		MinWarmRatio: *minWarm,
+	}, logf)
+	if err != nil {
+		return 1, err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return 1, err
+	}
+	if !res.Pass {
+		return 1, fmt.Errorf("load test failed: %s", res.Reason)
+	}
+	return 0, nil
+}

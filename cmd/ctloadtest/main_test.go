@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall drives a tiny passing configuration end to end and
+// checks the JSON verdict on stdout.
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots three in-process fleets")
+	}
+	var out, logs bytes.Buffer
+	code, err := run([]string{
+		"-replicas", "2",
+		"-items", "80",
+		"-sweep-every", "20",
+		"-concurrency", "8",
+		"-floor", "1ms",
+		// Scaling out of the way: a tiny workload under -race measures
+		// instrumentation, not capacity; `make load-test` holds the 3x bar.
+		"-min-scaling", "0.01",
+	}, &out, &logs)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\nlogs:\n%s\nout:\n%s", code, err, logs.String(), out.String())
+	}
+	var res struct {
+		Pass bool `json:"pass"`
+		Warm struct {
+			Ratio float64 `json:"warm_hit_ratio"`
+		} `json:"warm"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("stdout not JSON: %v\n%s", err, out.String())
+	}
+	if !res.Pass || res.Warm.Ratio < 0.9 {
+		t.Errorf("verdict = %+v", res)
+	}
+	if !strings.Contains(logs.String(), "phase 3/3") {
+		t.Errorf("progress lines missing:\n%s", logs.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if code, err := run([]string{"-bogus"}, io.Discard, io.Discard); err == nil || code != 2 {
+		t.Errorf("code=%d err=%v, want 2 with error", code, err)
+	}
+}

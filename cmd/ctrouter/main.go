@@ -1,0 +1,118 @@
+// Command ctrouter fronts a fleet of ctserved replicas with a
+// fingerprint-sharding gateway: every query routes to its canonical
+// fingerprint's home replica on a consistent-hash ring, so the fleet's
+// caches (and persistent snapshots) hold disjoint shards of the
+// keyspace, and sweeps fan out across replicas and re-merge into one
+// ordered stream.
+//
+//	ctrouter -addr 127.0.0.1:8090 \
+//	  -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	curl -s -X POST localhost:8090/v1/eval -d '{"machine":"t3d","expr":"1C64"}'
+//	curl -s localhost:8090/v1/stats
+//
+// The determinism contract guarantees the routed answer is
+// byte-identical to any single replica's (and to the CLIs): which
+// replica answers cannot change what is answered. Replicas are probed
+// over /healthz; a draining or repeatedly failing replica leaves the
+// ring until it recovers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctcomm/internal/router"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stderr, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrouter:", err)
+	}
+	os.Exit(code)
+}
+
+// run starts the router and blocks until a termination signal arrives
+// or stop is closed (tests use stop; the CLI passes nil).
+func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
+	fs := flag.NewFlagSet("ctrouter", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addrFlag     = fs.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		replicasFlag = fs.String("replicas", "", "comma-separated ctserved base URLs (required)")
+		vnodesFlag   = fs.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		probeFlag    = fs.Duration("probe-interval", 2*time.Second, "replica health-check period")
+		ejectFlag    = fs.Int("eject-after", 2, "consecutive probe failures that eject a replica")
+		timeoutFlag  = fs.Duration("timeout", 30*time.Second, "per-point-query deadline")
+		drainFlag    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	var replicas []string
+	for _, r := range strings.Split(*replicasFlag, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	if len(replicas) == 0 {
+		return 2, fmt.Errorf("-replicas is required (comma-separated base URLs)")
+	}
+
+	rt, err := router.New(router.Config{
+		Replicas:       replicas,
+		VNodes:         *vnodesFlag,
+		ProbeInterval:  *probeFlag,
+		EjectAfter:     *ejectFlag,
+		RequestTimeout: *timeoutFlag,
+	})
+	if err != nil {
+		return 1, err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return 1, err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	fmt.Fprintf(logw, "ctrouter: listening on %s, %d replicas\n", ln.Addr(), len(replicas))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(logw, "ctrouter: %s, draining (bound %s)\n", got, *drainFlag)
+	case <-stop:
+		fmt.Fprintf(logw, "ctrouter: stop requested, draining (bound %s)\n", *drainFlag)
+	case err := <-serveErr:
+		return 1, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return 1, err
+	}
+	if shutdownErr != nil {
+		return 1, fmt.Errorf("drain timed out: %w", shutdownErr)
+	}
+	fmt.Fprintln(logw, "ctrouter: drained, bye")
+	return 0, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ctcomm/internal/serve"
+)
+
+// TestRunRoutesAndDrains boots the real router on an ephemeral port in
+// front of two in-process replicas, queries through it, and checks the
+// clean-drain exit path — the in-process version of the CI router-smoke
+// job.
+func TestRunRoutesAndDrains(t *testing.T) {
+	var reps []*httptest.Server
+	for i := 0; i < 2; i++ {
+		s := serve.New(serve.Config{Workers: 1})
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { hs.Close(); s.Close() })
+		reps = append(reps, hs)
+	}
+
+	pr, pw := io.Pipe()
+	stop := make(chan struct{})
+	done := make(chan struct {
+		code int
+		err  error
+	}, 1)
+	go func() {
+		code, err := run([]string{
+			"-addr", "127.0.0.1:0",
+			"-replicas", reps[0].URL + "," + reps[1].URL,
+			"-probe-interval", "50ms",
+		}, pw, stop)
+		pw.Close()
+		done <- struct {
+			code int
+			err  error
+		}{code, err}
+	}()
+
+	sc := bufio.NewScanner(pr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimRight(strings.Fields(line[i+len("listening on "):])[0], ",")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("no listening line")
+	}
+	go io.Copy(io.Discard, pr)
+
+	body := strings.NewReader(`{"machine":"t3d","expr":"1C64"}`)
+	post, err := http.Post("http://"+addr+"/v1/eval", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eval struct {
+		MBps float64 `json:"mbps"`
+		Text string  `json:"text"`
+	}
+	if err := json.NewDecoder(post.Body).Decode(&eval); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if eval.MBps <= 0 || !strings.Contains(eval.Text, "|1C64|") {
+		t.Errorf("routed eval = %+v", eval)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Proxied  int64 `json:"proxied"`
+		Replicas []struct {
+			Routable bool `json:"routable"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Proxied != 1 || len(stats.Replicas) != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	close(stop)
+	select {
+	case r := <-done:
+		if r.err != nil || r.code != 0 {
+			t.Fatalf("run exited code=%d err=%v", r.code, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not drain in time")
+	}
+}
+
+func TestRunInvalidFlags(t *testing.T) {
+	if code, err := run(nil, io.Discard, nil); err == nil || code != 2 {
+		t.Errorf("no -replicas: code=%d err=%v, want 2 with error", code, err)
+	}
+	if code, err := run([]string{"-bogus"}, io.Discard, nil); err == nil || code != 2 {
+		t.Errorf("code=%d err=%v, want 2 with error", code, err)
+	}
+}

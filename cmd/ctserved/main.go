@@ -55,6 +55,9 @@ func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
 		timeoutFlag = fs.Duration("timeout", 30*time.Second, "per-request deadline")
 		drainFlag   = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 		statsFlag   = fs.String("stats", "", "file to write final observability counters to as JSON")
+		persistFlag = fs.String("persist", "", "directory for the persistent result cache (empty = in-memory only)")
+		pFlushFlag  = fs.Duration("persist-flush", time.Second, "persistent-cache WAL flush interval")
+		pEveryFlag  = fs.Int("persist-compact", 1024, "WAL appends between snapshot compactions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -63,13 +66,23 @@ func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
 		return 2, fmt.Errorf("-queue must be positive and -cache/-cache-bytes/-workers non-negative")
 	}
 
-	s := serve.New(serve.Config{
-		Workers:        *workersFlag,
-		QueueDepth:     *queueFlag,
-		CacheEntries:   *cacheFlag,
-		CacheBytes:     *cacheBFlag,
-		RequestTimeout: *timeoutFlag,
+	s, err := serve.Open(serve.Config{
+		Workers:             *workersFlag,
+		QueueDepth:          *queueFlag,
+		CacheEntries:        *cacheFlag,
+		CacheBytes:          *cacheBFlag,
+		RequestTimeout:      *timeoutFlag,
+		PersistDir:          *persistFlag,
+		PersistFlush:        *pFlushFlag,
+		PersistCompactEvery: *pEveryFlag,
 	})
+	if err != nil {
+		return 1, err
+	}
+	if *persistFlag != "" {
+		fmt.Fprintf(logw, "ctserved: persistent cache at %s, %d entries loaded warm\n",
+			*persistFlag, s.WarmLoaded())
+	}
 
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
@@ -94,6 +107,10 @@ func run(args []string, logw io.Writer, stop <-chan struct{}) (int, error) {
 		return 1, err
 	}
 
+	// Announce the drain before shutting the listener: /healthz flips to
+	// draining, so a router stops routing new work here while requests
+	// already in flight finish.
+	s.SetDraining(true)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(ctx)

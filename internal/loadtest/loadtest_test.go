@@ -1,0 +1,71 @@
+package loadtest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSmoke runs a miniature version of the acceptance load test:
+// 2 replicas, a short workload, 1ms floor. It asserts the mechanics —
+// all three phases answer everything and the restart answers warm —
+// with the scaling bar set out of the way: a tiny workload under an
+// instrumented build (-race runs this in CI) measures scheduler noise,
+// not capacity; the real ≥3x bar is `make load-test`'s.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test phases take a few seconds")
+	}
+	opt := Options{
+		Replicas:     2,
+		Items:        120,
+		SweepEvery:   30,
+		Concurrency:  16,
+		ServiceFloor: time.Millisecond,
+		Dir:          t.TempDir(),
+		MinScaling:   0.01,
+		MinWarmRatio: 0.9,
+	}
+	res, err := Run(opt, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Single.Errors != 0 || res.Fleet.Errors != 0 || res.Warm.Errors != 0 {
+		t.Fatalf("request errors: single=%d fleet=%d warm=%d",
+			res.Single.Errors, res.Fleet.Errors, res.Warm.Errors)
+	}
+	wantUnits := 116 + 4*4 // 116 point evals + 4 sweeps x 4 cells
+	if res.Single.Units != wantUnits || res.Fleet.Units != wantUnits {
+		t.Errorf("units: single=%d fleet=%d, want %d", res.Single.Units, res.Fleet.Units, wantUnits)
+	}
+	if res.Warm.Loaded == 0 {
+		t.Error("no entries warm-loaded after restart")
+	}
+	if res.Warm.Ratio < 0.9 {
+		t.Errorf("warm hit ratio %.3f < 0.9 (hits=%d misses=%d)",
+			res.Warm.Ratio, res.Warm.Hits, res.Warm.Misses)
+	}
+	if !res.Pass {
+		t.Errorf("pass=false: %s (scaling %.2fx)", res.Reason, res.ScalingX)
+	}
+}
+
+// TestWorkloadShape checks the generator's unit accounting.
+func TestWorkloadShape(t *testing.T) {
+	items := workload(Options{Items: 10, SweepEvery: 5}.withDefaults(), nil)
+	if len(items) != 10 {
+		t.Fatalf("len = %d", len(items))
+	}
+	sweeps, units := 0, 0
+	for _, it := range items {
+		units += it.units
+		if it.path == "/v1/sweep" {
+			sweeps++
+			if it.units != 4 {
+				t.Errorf("sweep units = %d, want 4", it.units)
+			}
+		}
+	}
+	if sweeps != 2 || units != 8+2*4 {
+		t.Errorf("sweeps=%d units=%d, want 2 and 16", sweeps, units)
+	}
+}

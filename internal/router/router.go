@@ -1,0 +1,539 @@
+// Package router is the scale-out gateway in front of a fleet of
+// ctserved replicas. It computes the same canonical fingerprints the
+// query core uses as cache keys and consistent-hashes them across the
+// fleet, so every distinct query has one home replica: each replica's
+// cache (and persistent snapshot) holds a disjoint shard of the
+// keyspace instead of N copies of the hot set, multiplying the fleet's
+// effective cache capacity by its size.
+//
+// The determinism contract makes this safe and makes it invisible:
+// every answer is a pure function of its fingerprint, so WHICH replica
+// answers cannot change WHAT is answered. Golden tests pin the
+// router's responses byte-identical to a single ctserved and to the
+// CLIs.
+//
+// Endpoints mirror ctserved: /v1/eval, /v1/price and /v1/plan are
+// proxied whole to the fingerprint's home replica (with failover to
+// ring successors on transport errors); /v1/sweep is expanded locally,
+// fanned out by cell fingerprint via each replica's /v1/cells, and
+// re-merged into one NDJSON stream in global cell order. /healthz and
+// /v1/stats describe the router and its view of the fleet.
+//
+// Replica health: a background loop probes GET /healthz (JSON form) on
+// every replica. A replica is routable when its probe succeeds and it
+// is not draining; EjectAfter consecutive failures removes it from the
+// ring until a probe succeeds again, and a draining replica (shutdown
+// announced, in-flight work finishing) is removed immediately —
+// drain-aware removal composing with ctserved's two-phase shutdown.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctcomm/internal/query"
+	"ctcomm/internal/serve"
+)
+
+// maxBodyBytes bounds a proxied request body, matching ctserved.
+const maxBodyBytes = 1 << 20
+
+// Config parameterizes a Router.
+type Config struct {
+	// Replicas are the ctserved base URLs (e.g. "http://127.0.0.1:8081"),
+	// optionally prefixed with a stable ring identity as "name=url"
+	// (e.g. "replica-0=http://127.0.0.1:8081"). The ring hashes the
+	// NAME, so a replica that restarts on a different port keeps its
+	// keyspace shard — and its persistent cache stays the right shard.
+	// Without a name the URL itself is the identity.
+	Replicas []string
+	// VNodes is the number of virtual nodes per replica on the hash ring
+	// (default 64). More vnodes smooth the key distribution.
+	VNodes int
+	// ProbeInterval is the health-check period (default 2s). Negative
+	// disables probing: replicas then change state only via per-request
+	// transport failures.
+	ProbeInterval time.Duration
+	// EjectAfter is the number of consecutive probe failures that ejects
+	// a replica from the ring (default 2).
+	EjectAfter int
+	// Client performs replica requests (default: http.Client with a 60s
+	// timeout; sweeps stream within it).
+	Client *http.Client
+	// RequestTimeout bounds one proxied point query (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// replica is one backend and the router's view of its health.
+type replica struct {
+	name string // stable ring identity
+	base string // request base URL
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+	// consecFails is touched only by the probe loop.
+	consecFails int
+	// last is the most recent JSON health body (zero until a probe
+	// succeeds); guarded by lastMu.
+	lastMu sync.Mutex
+	last   serve.Health
+}
+
+func (r *replica) routable() bool {
+	return r.healthy.Load() && !r.draining.Load()
+}
+
+// ringPoint is one virtual node: a hash position owned by a replica.
+type ringPoint struct {
+	hash uint64
+	idx  int // index into Router.replicas
+}
+
+// Router is the gateway. Create with New, mount Handler, Close to stop
+// the probe loop.
+type Router struct {
+	cfg      Config
+	mux      *http.ServeMux
+	replicas []*replica
+
+	// ring holds the virtual nodes of all ROUTABLE replicas, sorted by
+	// hash; rebuilt whenever a replica's routability changes.
+	ringMu sync.RWMutex
+	ring   []ringPoint
+
+	stats routerMetrics
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	probed   sync.WaitGroup
+}
+
+// routerMetrics counts the router's own traffic.
+type routerMetrics struct {
+	proxied   atomic.Int64 // point queries forwarded
+	failovers atomic.Int64 // point queries retried on a ring successor
+	sweeps    atomic.Int64 // sweeps fanned out
+	cells     atomic.Int64 // sweep cells routed
+	shardHops atomic.Int64 // shard streams moved to a successor mid-sweep
+	ejections atomic.Int64 // replicas removed from the ring by probes
+	rejected  atomic.Int64 // requests failed with no routable replica
+}
+
+// New builds a router over the configured replicas (all initially
+// routable, so traffic flows before the first probe round) and starts
+// the probe loop.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	rt := &Router{cfg: cfg, mux: http.NewServeMux(), stop: make(chan struct{})}
+	seen := map[string]bool{}
+	for _, spec := range cfg.Replicas {
+		name, base := splitReplica(spec)
+		if base == "" || seen[name] {
+			return nil, fmt.Errorf("router: empty or duplicate replica %q", spec)
+		}
+		seen[name] = true
+		rep := &replica{name: name, base: base}
+		rep.healthy.Store(true)
+		rt.replicas = append(rt.replicas, rep)
+	}
+	rt.rebuildRing()
+	rt.routes()
+	if cfg.ProbeInterval > 0 {
+		rt.probed.Add(1)
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+// splitReplica parses one Config.Replicas entry: "name=url" or "url".
+// URLs contain "://", so a '=' BEFORE the scheme separator is a name
+// prefix, never part of the URL.
+func splitReplica(spec string) (name, base string) {
+	spec = strings.TrimSpace(spec)
+	if eq := strings.Index(spec, "="); eq >= 0 {
+		if sep := strings.Index(spec, "://"); sep < 0 || eq < sep {
+			name = strings.TrimSpace(spec[:eq])
+			base = strings.TrimRight(strings.TrimSpace(spec[eq+1:]), "/")
+			if name == "" {
+				name = base
+			}
+			return name, base
+		}
+	}
+	base = strings.TrimRight(spec, "/")
+	return base, base
+}
+
+// Handler returns the root HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the probe loop.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.probed.Wait()
+}
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("/v1/eval", rt.handlePoint("eval", func() fingerprinter { return &query.EvalRequest{} }))
+	rt.mux.HandleFunc("/v1/price", rt.handlePoint("price", func() fingerprinter { return &query.PriceRequest{} }))
+	rt.mux.HandleFunc("/v1/plan", rt.handlePoint("plan", func() fingerprinter { return &query.PlanRequest{} }))
+	rt.mux.HandleFunc("/v1/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/v1/stats", rt.handleStats)
+}
+
+// --- Consistent hashing ------------------------------------------------
+
+// fingerprintHash positions a fingerprint (or virtual node) on the ring.
+func fingerprintHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, s)
+	return h.Sum64()
+}
+
+// rebuildRing recomputes the virtual-node ring from routable replicas.
+func (rt *Router) rebuildRing() {
+	var ring []ringPoint
+	for idx, rep := range rt.replicas {
+		if !rep.routable() {
+			continue
+		}
+		for v := 0; v < rt.cfg.VNodes; v++ {
+			ring = append(ring, ringPoint{fingerprintHash(fmt.Sprintf("%s#%d", rep.name, v)), idx})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	rt.ringMu.Lock()
+	rt.ring = ring
+	rt.ringMu.Unlock()
+}
+
+// pick returns the distinct routable replicas for a fingerprint in ring
+// order: the home replica first, then its failover successors.
+func (rt *Router) pick(fingerprint string) []*replica {
+	h := fingerprintHash(fingerprint)
+	rt.ringMu.RLock()
+	ring := rt.ring
+	rt.ringMu.RUnlock()
+	if len(ring) == 0 {
+		return nil
+	}
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	var out []*replica
+	seen := map[int]bool{}
+	for i := 0; i < len(ring) && len(seen) < len(rt.replicas); i++ {
+		p := ring[(start+i)%len(ring)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, rt.replicas[p.idx])
+		}
+	}
+	return out
+}
+
+// Home returns the name of the replica that currently owns the
+// fingerprint's keyspace position, or "" when no replica is routable.
+// It exists for shard introspection: capacity planning and the load
+// test use it to reason about how a workload spreads over the ring.
+func (rt *Router) Home(fingerprint string) string {
+	if reps := rt.pick(fingerprint); len(reps) > 0 {
+		return reps[0].name
+	}
+	return ""
+}
+
+// --- Health probing ----------------------------------------------------
+
+func (rt *Router) probeLoop() {
+	defer rt.probed.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll checks every replica once and rebuilds the ring on change.
+func (rt *Router) probeAll() {
+	changed := false
+	for _, rep := range rt.replicas {
+		wasRoutable := rep.routable()
+		h, err := rt.probe(rep)
+		if err != nil {
+			rep.consecFails++
+			if rep.consecFails >= rt.cfg.EjectAfter && rep.healthy.Load() {
+				rep.healthy.Store(false)
+				rt.stats.ejections.Add(1)
+			}
+		} else {
+			rep.consecFails = 0
+			rep.healthy.Store(true)
+			rep.draining.Store(h.Draining)
+			rep.lastMu.Lock()
+			rep.last = h
+			rep.lastMu.Unlock()
+		}
+		if rep.routable() != wasRoutable {
+			changed = true
+		}
+	}
+	if changed {
+		rt.rebuildRing()
+	}
+}
+
+// probe performs one JSON health check.
+func (rt *Router) probe(rep *replica) (serve.Health, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/healthz", nil)
+	if err != nil {
+		return serve.Health{}, err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return serve.Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.Health{}, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	var h serve.Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&h); err != nil {
+		return serve.Health{}, err
+	}
+	return h, nil
+}
+
+// markDown records a per-request transport failure immediately, without
+// waiting for the probe loop, so one dead replica costs one failover,
+// not EjectAfter probe periods of retries.
+func (rt *Router) markDown(rep *replica) {
+	if rep.healthy.Swap(false) {
+		rt.stats.ejections.Add(1)
+		rt.rebuildRing()
+	}
+}
+
+// --- Point-query proxying ----------------------------------------------
+
+// fingerprinter is the common shape of the three request types.
+type fingerprinter interface{ Fingerprint() string }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handlePoint proxies one point query to its fingerprint's home
+// replica, failing over to ring successors on transport errors. The
+// replica's response — status, content type and body — passes through
+// verbatim, preserving byte identity with a direct ctserved query.
+func (rt *Router) handlePoint(kind string, newReq func() fingerprinter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading body: %v", err)})
+			return
+		}
+		// Decode only to compute the fingerprint; the ORIGINAL bytes are
+		// forwarded, so the replica applies its own strict validation and
+		// the router cannot skew a request in transit.
+		req := newReq()
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: invalid JSON body: %v", err)})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+		defer cancel()
+		resp, err := rt.forward(ctx, req.Fingerprint(), "/v1/"+kind, body)
+		if err != nil {
+			rt.stats.rejected.Add(1)
+			writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+			return
+		}
+		defer resp.Body.Close()
+		for _, hdr := range []string{"Content-Type", "Retry-After"} {
+			if v := resp.Header.Get(hdr); v != "" {
+				w.Header().Set(hdr, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		rt.stats.proxied.Add(1)
+	}
+}
+
+// forward posts body to path on the fingerprint's home replica, then on
+// each ring successor after a transport failure. HTTP-level errors
+// (4xx/5xx) are NOT failed over: they are the home replica's answer.
+func (rt *Router) forward(ctx context.Context, fingerprint, path string, body []byte) (*http.Response, error) {
+	cands := rt.pick(fingerprint)
+	if len(cands) == 0 {
+		return nil, errors.New("router: no routable replicas")
+	}
+	var lastErr error
+	for i, rep := range cands {
+		if i > 0 {
+			rt.stats.failovers.Add(1)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+path, strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.cfg.Client.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rt.markDown(rep)
+	}
+	return nil, fmt.Errorf("router: all %d replicas failed, last: %v", len(cands), lastErr)
+}
+
+// --- Router observability ----------------------------------------------
+
+// ReplicaHealth is the router's view of one backend.
+type ReplicaHealth struct {
+	Name     string `json:"name"`
+	URL      string `json:"url,omitempty"` // omitted when the name IS the URL
+	Routable bool   `json:"routable"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	// Cache/warm figures echo the replica's last JSON health body.
+	CacheEntries int   `json:"cache_entries"`
+	WarmLoaded   int64 `json:"warm_loaded"`
+}
+
+// Stats is the /v1/stats body: the router's own counters plus its
+// current view of the fleet.
+type Stats struct {
+	Proxied   int64           `json:"proxied"`
+	Failovers int64           `json:"failovers"`
+	Sweeps    int64           `json:"sweeps"`
+	Cells     int64           `json:"cells"`
+	ShardHops int64           `json:"shard_hops"`
+	Ejections int64           `json:"ejections"`
+	Rejected  int64           `json:"rejected"`
+	Replicas  []ReplicaHealth `json:"replicas"`
+}
+
+// Snapshot returns the router counters and fleet view.
+func (rt *Router) Snapshot() Stats {
+	s := Stats{
+		Proxied:   rt.stats.proxied.Load(),
+		Failovers: rt.stats.failovers.Load(),
+		Sweeps:    rt.stats.sweeps.Load(),
+		Cells:     rt.stats.cells.Load(),
+		ShardHops: rt.stats.shardHops.Load(),
+		Ejections: rt.stats.ejections.Load(),
+		Rejected:  rt.stats.rejected.Load(),
+	}
+	for _, rep := range rt.replicas {
+		rep.lastMu.Lock()
+		last := rep.last
+		rep.lastMu.Unlock()
+		s.Replicas = append(s.Replicas, ReplicaHealth{
+			Name: rep.name,
+			URL: func() string {
+				if rep.base != rep.name {
+					return rep.base
+				}
+				return ""
+			}(),
+			Routable:     rep.routable(),
+			Healthy:      rep.healthy.Load(),
+			Draining:     rep.draining.Load(),
+			CacheEntries: last.CacheEntries,
+			WarmLoaded:   last.WarmLoaded,
+		})
+	}
+	return s
+}
+
+// handleHealthz reports the router itself: ok while at least one
+// replica is routable, 503 otherwise (so an outer balancer can eject a
+// router with no backends).
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	routable := 0
+	for _, rep := range rt.replicas {
+		if rep.routable() {
+			routable++
+		}
+	}
+	status, text := http.StatusOK, "ok"
+	if routable == 0 {
+		status, text = http.StatusServiceUnavailable, "no routable replicas"
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, status, struct {
+			Status   string `json:"status"`
+			Routable int    `json:"routable"`
+			Replicas int    `json:"replicas"`
+		}{text, routable, len(rt.replicas)})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, text)
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Snapshot())
+}

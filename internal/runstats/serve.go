@@ -44,6 +44,22 @@ type CacheStats struct {
 	// ByteCapacity is the eviction budget (0 = unbounded).
 	Bytes        int64 `json:"bytes"`
 	ByteCapacity int64 `json:"byte_capacity"`
+	// WarmLoaded counts entries loaded from the persistent snapshot at
+	// startup — the warm-start effectiveness denominator.
+	WarmLoaded int64 `json:"warm_loaded"`
+}
+
+// PersistStats reports the disk-persistent result cache (write-behind
+// WAL + compacted snapshots); nil when persistence is disabled.
+type PersistStats struct {
+	Loaded      int64 `json:"loaded"`      // entries replayed from disk at startup
+	Discarded   int64 `json:"discarded"`   // corrupt/version-skewed entries dropped at load
+	Appended    int64 `json:"appended"`    // WAL records written since startup
+	Flushes     int64 `json:"flushes"`     // WAL fsyncs
+	Compactions int64 `json:"compactions"` // snapshot rewrites
+	Dropped     int64 `json:"dropped"`     // entries not persisted (queue or mirror full)
+	Entries     int   `json:"entries"`     // resident mirror entries (= next snapshot)
+	Bytes       int64 `json:"bytes"`       // resident mirror bytes
 }
 
 // SweepStats reports /v1/sweep cell traffic across all sweeps.
@@ -74,10 +90,12 @@ type CalibrationStats struct {
 // ServeStats is the `-stats`-style JSON dump of a ctserved instance.
 type ServeStats struct {
 	UptimeMs    float64                  `json:"uptime_ms"`
+	Draining    bool                     `json:"draining"`
 	Endpoints   map[string]EndpointStats `json:"endpoints"`
 	Cache       CacheStats               `json:"cache"`
 	Sweep       SweepStats               `json:"sweep"`
 	Queue       QueueStats               `json:"queue"`
+	Persist     *PersistStats            `json:"persist,omitempty"`
 	Calibration CalibrationStats         `json:"calibration"`
 }
 

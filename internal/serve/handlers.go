@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"ctcomm/internal/query"
@@ -26,6 +27,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/price", s.instrument("price", s.handlePrice))
 	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/cells", s.instrument("cells", s.handleCells))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
@@ -199,7 +201,34 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.streamCells(w, r, cells)
+}
 
+// handleCells answers POST /v1/cells: the explicit-cell form of a
+// sweep. The router uses it to ship each replica its fingerprint shard
+// of an expanded grid; rows stream back in the given cell order with
+// the same NDJSON framing (and partial-failure semantics) as
+// /v1/sweep.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req sweep.CellsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := sweep.PrepareCells(req.Cells, 0); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.streamCells(w, r, req.Cells)
+}
+
+// streamCells is the shared NDJSON streaming tail of /v1/sweep and
+// /v1/cells: run the cells on the worker pool through the fingerprint
+// LRU, emit one row per cell in order plus a terminal summary line.
+func (s *Server) streamCells(w http.ResponseWriter, r *http.Request, cells []sweep.Cell) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -238,14 +267,56 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Health is the JSON /healthz body: enough for a router to make
+// routing decisions (draining) and for operators to see warm-start
+// effectiveness at a glance. Old probes that don't ask for JSON keep
+// getting the plain "ok" line.
+type Health struct {
+	Status string `json:"status"` // "ok" or "draining"
+	// Draining reports that shutdown has begun: in-flight work finishes
+	// but no new work should be routed here.
+	Draining bool `json:"draining"`
+	// CacheEntries/CacheBytes describe the resident result cache;
+	// WarmLoaded is how many of its entries came from the persistent
+	// snapshot at startup.
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	WarmLoaded   int64 `json:"warm_loaded"`
+	// QueueDepth is the number of jobs waiting for a worker.
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// health fills the JSON /healthz body from the live counters.
+func (s *Server) health() Health {
+	h := Health{
+		Status:       "ok",
+		Draining:     s.draining.Load(),
+		CacheEntries: s.cache.len(),
+		CacheBytes:   s.cache.residentBytes(),
+		WarmLoaded:   s.warmLoaded.Load(),
+		QueueDepth:   s.metrics.queueDepth.Load(),
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// handleHealthz negotiates on Accept: a client asking for
+// application/json gets the structured Health body; everything else
+// keeps the plain "ok" line old probes expect.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.health())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.metrics.writePrometheus(w, s.cache, s.cfg.QueueDepth, s.cfg.Workers)
+	_ = s.metrics.writePrometheus(w, s)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

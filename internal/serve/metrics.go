@@ -93,8 +93,12 @@ func (m *metrics) endpointNames() []string {
 }
 
 // writePrometheus renders the metrics in Prometheus text exposition
-// format (version 0.0.4).
-func (m *metrics) writePrometheus(w io.Writer, cache *lruCache, queueCap, workers int) error {
+// format (version 0.0.4). It takes the owning server to fold in state
+// that lives outside the counter set: cache residency, drain flag,
+// warm-start count, persistence-layer stats.
+func (m *metrics) writePrometheus(w io.Writer, srv *Server) error {
+	cache := srv.cache
+	queueCap, workers := srv.cfg.QueueDepth, srv.cfg.Workers
 	var b []byte
 	appendf := func(format string, args ...interface{}) {
 		b = append(b, fmt.Sprintf(format, args...)...)
@@ -156,6 +160,9 @@ func (m *metrics) writePrometheus(w io.Writer, cache *lruCache, queueCap, worker
 	appendf("# HELP ctserved_cache_bytes_capacity Result-cache byte budget (0 = unbounded).\n")
 	appendf("# TYPE ctserved_cache_bytes_capacity gauge\n")
 	appendf("ctserved_cache_bytes_capacity %d\n", cache.maxBytes)
+	appendf("# HELP ctserved_cache_warm_loaded Cache entries loaded from the persistent snapshot at startup.\n")
+	appendf("# TYPE ctserved_cache_warm_loaded gauge\n")
+	appendf("ctserved_cache_warm_loaded %d\n", srv.warmLoaded.Load())
 
 	appendf("# HELP ctserved_sweep_cells_total Sweep cells streamed (rows emitted, error rows included).\n")
 	appendf("# TYPE ctserved_sweep_cells_total counter\n")
@@ -185,6 +192,30 @@ func (m *metrics) writePrometheus(w io.Writer, cache *lruCache, queueCap, worker
 	appendf("# HELP ctserved_inflight Requests currently being handled.\n")
 	appendf("# TYPE ctserved_inflight gauge\n")
 	appendf("ctserved_inflight %d\n", m.inflight.Load())
+	appendf("# HELP ctserved_draining Whether graceful shutdown has begun (1 = draining).\n")
+	appendf("# TYPE ctserved_draining gauge\n")
+	appendf("ctserved_draining %d\n", b2i(srv.draining.Load()))
+
+	if ps := srv.persistStats(); ps != nil {
+		appendf("# HELP ctserved_persist_appended_total WAL records written by the persistent result cache.\n")
+		appendf("# TYPE ctserved_persist_appended_total counter\n")
+		appendf("ctserved_persist_appended_total %d\n", ps.Appended)
+		appendf("# HELP ctserved_persist_flushes_total WAL flushes by the persistent result cache.\n")
+		appendf("# TYPE ctserved_persist_flushes_total counter\n")
+		appendf("ctserved_persist_flushes_total %d\n", ps.Flushes)
+		appendf("# HELP ctserved_persist_compactions_total Snapshot compactions by the persistent result cache.\n")
+		appendf("# TYPE ctserved_persist_compactions_total counter\n")
+		appendf("ctserved_persist_compactions_total %d\n", ps.Compactions)
+		appendf("# HELP ctserved_persist_dropped_total Entries the persistence layer could not keep (queue or mirror full).\n")
+		appendf("# TYPE ctserved_persist_dropped_total counter\n")
+		appendf("ctserved_persist_dropped_total %d\n", ps.Dropped)
+		appendf("# HELP ctserved_persist_entries Entries resident in the persistence mirror (next snapshot size).\n")
+		appendf("# TYPE ctserved_persist_entries gauge\n")
+		appendf("ctserved_persist_entries %d\n", ps.Entries)
+		appendf("# HELP ctserved_persist_bytes Approximate bytes resident in the persistence mirror.\n")
+		appendf("# TYPE ctserved_persist_bytes gauge\n")
+		appendf("ctserved_persist_bytes %d\n", ps.Bytes)
+	}
 
 	calHits, calMisses := calibrate.CacheStats()
 	appendf("# HELP ctserved_calibration_hits_total Calibration rate-table cache hits (process-wide).\n")
@@ -205,9 +236,12 @@ func formatLE(le float64) string {
 }
 
 // snapshot folds the live counters into the JSON dump shape.
-func (m *metrics) snapshot(cache *lruCache, queueCap, workers int) *runstats.ServeStats {
+func (m *metrics) snapshot(srv *Server) *runstats.ServeStats {
+	cache := srv.cache
+	queueCap, workers := srv.cfg.QueueDepth, srv.cfg.Workers
 	s := &runstats.ServeStats{
 		UptimeMs:  float64(time.Since(m.start)) / float64(time.Millisecond),
+		Draining:  srv.draining.Load(),
 		Endpoints: map[string]runstats.EndpointStats{},
 	}
 	for ep, e := range m.endpoints {
@@ -241,7 +275,9 @@ func (m *metrics) snapshot(cache *lruCache, queueCap, workers int) *runstats.Ser
 		Capacity:     cache.cap,
 		Bytes:        cache.residentBytes(),
 		ByteCapacity: cache.maxBytes,
+		WarmLoaded:   srv.warmLoaded.Load(),
 	}
+	s.Persist = srv.persistStats()
 	s.Sweep = runstats.SweepStats{
 		Cells:    m.sweepCells.Load(),
 		Cached:   m.sweepCached.Load(),
@@ -256,4 +292,11 @@ func (m *metrics) snapshot(cache *lruCache, queueCap, workers int) *runstats.Ser
 	}
 	s.Calibration.Hits, s.Calibration.Misses = calibrate.CacheStats()
 	return s
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

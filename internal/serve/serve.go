@@ -42,10 +42,12 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctcomm/internal/query"
 	"ctcomm/internal/runstats"
+	"ctcomm/internal/serve/persist"
 	"ctcomm/internal/sweep"
 )
 
@@ -69,6 +71,25 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+
+	// PersistDir, when set, enables the disk-persistent result cache:
+	// fresh results are appended write-behind to a WAL and compacted
+	// into snapshots under this directory, and at startup the snapshot
+	// + WAL are loaded back so a restarted replica answers warm with
+	// byte-identical text. Empty disables persistence.
+	PersistDir string
+	// PersistFlush is the WAL flush/fsync interval (default 1s).
+	PersistFlush time.Duration
+	// PersistCompactEvery triggers a snapshot compaction after this
+	// many WAL appends (default 1024).
+	PersistCompactEvery int
+
+	// ServiceFloor, when positive, makes every worker job take at least
+	// this long. Production leaves it zero; the load-test harness uses
+	// it to emulate per-replica service capacity, so throughput scaling
+	// across replicas is measurable even on small machines. Cache hits
+	// bypass the workers and are unaffected.
+	ServiceFloor time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +140,16 @@ type Server struct {
 	cache   *lruCache
 	metrics *metrics
 
+	// persist is the disk layer under the cache (nil when disabled);
+	// warmLoaded counts snapshot entries loaded at startup.
+	persist    *persist.Store
+	warmLoaded atomic.Int64
+
+	// draining is set by the frontend between "stop accepting" and
+	// "exit": /healthz reports it so a router stops routing new work
+	// here while in-flight requests finish (drain-aware removal).
+	draining atomic.Bool
+
 	flightMu sync.Mutex
 	flight   map[string]*call
 
@@ -130,9 +161,23 @@ type Server struct {
 	testHookJobStart func()
 }
 
-// New starts a Server's worker pool and returns it. Callers must Close
-// it (after draining HTTP traffic) to stop the workers.
+// New starts a Server's worker pool and returns it, panicking if the
+// persistence directory cannot be opened — the error-returning form is
+// Open. Callers must Close it (after draining HTTP traffic) to stop
+// the workers.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("serve.New: %v", err))
+	}
+	return s
+}
+
+// Open starts a Server's worker pool, loading the persistent result
+// cache (when Config.PersistDir is set) so the replica answers warm
+// from its snapshot. Callers must Close it (after draining HTTP
+// traffic) to stop the workers and flush the persistence layer.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -140,27 +185,60 @@ func New(cfg Config) *Server {
 		queue:   make(chan job, cfg.QueueDepth),
 		cache:   newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
 		flight:  map[string]*call{},
-		metrics: newMetrics([]string{"eval", "price", "plan", "sweep", "healthz", "metrics", "stats"}),
+		metrics: newMetrics([]string{"eval", "price", "plan", "sweep", "cells", "healthz", "metrics", "stats"}),
+	}
+	if cfg.PersistDir != "" {
+		st, err := persist.Open(cfg.PersistDir, persist.Options{
+			FlushInterval: cfg.PersistFlush,
+			CompactEvery:  cfg.PersistCompactEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		loaded, err := st.Load(func(key string, val interface{}) {
+			s.cache.add(key, val)
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.persist = st
+		s.warmLoaded.Store(int64(loaded))
 	}
 	s.routes()
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
+
+// SetDraining flips the drain flag surfaced by /healthz; frontends set
+// it when shutdown begins so routers stop sending new work.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether drain has been announced.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WarmLoaded reports how many cache entries were loaded from the
+// persistent snapshot at startup.
+func (s *Server) WarmLoaded() int64 { return s.warmLoaded.Load() }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool after all queued jobs have run. Call it
-// only once HTTP traffic has drained (http.Server.Shutdown returned):
-// submissions after Close panic by design, as sends on a closed
-// channel.
+// Close stops the worker pool after all queued jobs have run, then
+// flushes and closes the persistence layer (final compacted snapshot).
+// Call it only once HTTP traffic has drained (http.Server.Shutdown
+// returned): submissions after Close panic by design, as sends on a
+// closed channel.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.queue)
 		s.workers.Wait()
+		if s.persist != nil {
+			_ = s.persist.Close()
+		}
 	})
 }
 
@@ -171,6 +249,9 @@ func (s *Server) worker() {
 		if h := s.testHookJobStart; h != nil {
 			h()
 		}
+		if s.cfg.ServiceFloor > 0 {
+			time.Sleep(s.cfg.ServiceFloor)
+		}
 		// Execute even when the submitting request already timed out:
 		// the result still warms the cache, and during shutdown the
 		// drain semantics are "queued work completes".
@@ -178,12 +259,16 @@ func (s *Server) worker() {
 	}
 }
 
-// publish records a finished leader execution: caches the value, drops
-// the flight entry, and releases every collapsed waiter.
+// publish records a finished leader execution: caches the value (and
+// queues it for write-behind persistence), drops the flight entry, and
+// releases every collapsed waiter.
 func (s *Server) publish(key string, c *call, val interface{}, err error) {
 	c.val, c.err = val, err
 	if err == nil {
 		s.cache.add(key, val)
+		if s.persist != nil {
+			s.persist.Put(key, val)
+		}
 	}
 	s.flightMu.Lock()
 	delete(s.flight, key)
@@ -303,7 +388,26 @@ func (s *Server) sweepCell(ctx context.Context, b *query.Batch, c sweep.Cell) (i
 
 // Snapshot returns the observability counters as a JSON-ready dump.
 func (s *Server) Snapshot() *runstats.ServeStats {
-	return s.metrics.snapshot(s.cache, s.cfg.QueueDepth, s.cfg.Workers)
+	return s.metrics.snapshot(s)
+}
+
+// persistStats converts the persistence layer's counters to the JSON
+// dump shape; nil when persistence is disabled.
+func (s *Server) persistStats() *runstats.PersistStats {
+	if s.persist == nil {
+		return nil
+	}
+	st := s.persist.Stats()
+	return &runstats.PersistStats{
+		Loaded:      st.Loaded,
+		Discarded:   st.Discarded,
+		Appended:    st.Appended,
+		Flushes:     st.Flushes,
+		Compactions: st.Compactions,
+		Dropped:     st.Dropped,
+		Entries:     st.Entries,
+		Bytes:       st.Bytes,
+	}
 }
 
 // String describes the server configuration.

@@ -405,6 +405,47 @@ func Expand(s Spec) ([]Cell, error) {
 	return cells, nil
 }
 
+// CellsRequest is the explicit-cell form of a sweep: instead of a grid
+// spec, the caller ships the expanded cells themselves. The router uses
+// it to fan one sweep out by fingerprint shard — each replica receives
+// exactly its cells, already canonical, and streams rows back in the
+// order given so the router can re-merge deterministically.
+type CellsRequest struct {
+	Cells []Cell `json:"cells"`
+}
+
+// PrepareCells validates an explicit cell list (each cell must carry
+// exactly one request; the list is bounded like a grid expansion) and
+// assigns sequential indices. limit <= 0 selects HardMaxCells.
+func PrepareCells(cells []Cell, limit int) error {
+	if limit <= 0 {
+		limit = HardMaxCells
+	}
+	if len(cells) == 0 {
+		return badf("no cells")
+	}
+	if len(cells) > limit {
+		return badf("%d cells exceeds the cap %d", len(cells), limit)
+	}
+	for i := range cells {
+		set := 0
+		if cells[i].Eval != nil {
+			set++
+		}
+		if cells[i].Price != nil {
+			set++
+		}
+		if cells[i].Plan != nil {
+			set++
+		}
+		if set != 1 {
+			return badf("cell %d must carry exactly one of eval, price or plan", i)
+		}
+		cells[i].Index = i
+	}
+	return nil
+}
+
 // splitOp splits "xQy" without validating the pattern grammar (the
 // query core does that per cell).
 func splitOp(op string) (x, y string, err error) {

@@ -12,6 +12,11 @@
 # to a warning — and record the new baseline with `make bench-record`
 # in the same PR so the trajectory documents the step.
 #
+# The serve-stack trajectory (BENCH_serve.json, BenchmarkServeMixed)
+# is checked too, but WARN-ONLY: the handler-stack benchmark runs the
+# full HTTP mux under RunParallel and is too scheduler-sensitive at
+# -benchtime 1x to gate a PR on; the sweep gate stays the hard bar.
+#
 # Environment: GO (default "go"), ALLOW_BENCH_REGRESSION (default 0),
 # BENCH_GATE_RUNS (best-of runs, default 3, tempering scheduler noise).
 set -eu
@@ -44,6 +49,29 @@ while [ "$i" -lt "$RUNS" ]; do
 	echo "run $i/$RUNS: $cur rows/sec"
 	best="$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b > a) ? b : a }')"
 done
+
+# Serve-stack check (warn-only), before the hard sweep verdict so a
+# sweep failure does not hide a serve regression from the log.
+SERVE_FILE="BENCH_serve.json"
+serve_base="$(grep '"name":"BenchmarkServeMixed"' "$SERVE_FILE" 2>/dev/null | tail -1 \
+	| sed -n 's/.*"ns_per_op":\([0-9.eE+]*\).*/\1/p')"
+if [ -z "$serve_base" ]; then
+	echo "bench_gate: no BenchmarkServeMixed baseline in $SERVE_FILE; serve check skipped (record one with 'make bench-record')"
+else
+	sout="$("$GO" test -bench 'BenchmarkServeMixed$' -benchtime 1x -run '^$' ./internal/serve/)"
+	serve_cur="$(printf '%s\n' "$sout" | awk '$1 ~ /^BenchmarkServeMixed/ {
+		for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i }')"
+	if [ -z "$serve_cur" ]; then
+		echo "bench_gate: WARNING: BenchmarkServeMixed reported no ns/op" >&2
+	else
+		serve_ok="$(awk -v cur="$serve_cur" -v base="$serve_base" 'BEGIN { print (cur <= 1.25 * base) ? 1 : 0 }')"
+		if [ "$serve_ok" = "1" ]; then
+			echo "bench_gate: serve check ok ($serve_cur ns/op vs baseline $serve_base, warn threshold 125%)"
+		else
+			echo "bench_gate: WARNING: BenchmarkServeMixed $serve_cur ns/op is >25% over baseline $serve_base (warn-only; not failing the gate)" >&2
+		fi
+	fi
+fi
 
 echo "bench_gate: best $best rows/sec, baseline $baseline rows/sec (threshold: 75% of baseline)"
 ok="$(awk -v cur="$best" -v base="$baseline" 'BEGIN { print (cur >= 0.75 * base) ? 1 : 0 }')"

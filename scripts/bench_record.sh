@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench_record.sh — record the benchmark trajectory.
 #
-# Runs the sweep and memsim hot-path benchmarks and normalizes the
-# `go test -bench` output into BENCH_sweep.json and BENCH_hotpath.json:
+# Runs the sweep, memsim hot-path, and serve-stack benchmarks and
+# normalizes the `go test -bench` output into BENCH_sweep.json,
+# BENCH_hotpath.json and BENCH_serve.json:
 # one JSON object per benchmark per recording, carrying name, ns/op,
 # rows/sec (where the benchmark reports it), B/op, allocs/op, the
 # current commit and the UTC date. Entries APPEND — the files are the
@@ -81,3 +82,9 @@ echo "== memsim hot-path benchmarks =="
 "$GO" test -bench 'BenchmarkRunStream$|BenchmarkLoadStream$|BenchmarkStoreStream$|BenchmarkEngineWrite$' \
 	-benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/memsim/ \
 	| tee /dev/stderr | record "$BENCH_DIR/BENCH_hotpath.json"
+
+echo "== serve-stack benchmarks (handler + router gateway) =="
+{
+	"$GO" test -bench 'BenchmarkServeMixed$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/serve/
+	"$GO" test -bench 'BenchmarkRouterMixed$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/router/
+} | tee /dev/stderr | record "$BENCH_DIR/BENCH_serve.json"
