@@ -8,6 +8,8 @@
 //	ctmodel -machine t3d -op wQw -congestion 4
 //	ctmodel -machine t3d -rates paper -list
 //	ctmodel -sweep spec.json -format csv
+//	ctmodel -machine cluster -rates calibrated -op 1Q64 -level intra-socket
+//	ctmodel -machine xe6 -fit measured.csv -fit-out fitted.json
 //
 // With -op xQy both the buffer-packing and chained estimates of the
 // communication operation are printed; with -expr a single expression
@@ -19,6 +21,14 @@
 // once, element-count axes answered by bitwise-verified closed-form
 // laws); -sweep-engine disables it and evaluates every cell as an
 // independent engine run — identical output, much slower.
+//
+// Hierarchical profiles (cluster, xe6) model three communication tiers
+// — intra-socket, inter-socket, inter-node; -level selects which tier's
+// link a calibrated evaluation uses. -fit runs the other direction:
+// given measured (size_bytes, rate_MBps) rows in JSON or CSV ("-" for
+// stdin), it least-squares fits startup and bandwidth constants per
+// tier onto the -machine base profile, prints a per-point error report,
+// and with -fit-out writes the fitted profile as loadable machine JSON.
 //
 // The evaluation itself lives in internal/query, which the ctserved
 // HTTP service shares: a served /v1/eval answer is byte-identical to
@@ -38,6 +48,7 @@ import (
 	"io"
 	"os"
 
+	"ctcomm/internal/calibrate"
 	"ctcomm/internal/machine"
 	"ctcomm/internal/query"
 	"ctcomm/internal/sweep"
@@ -60,13 +71,17 @@ func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ctmodel", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		machineFlag = fs.String("machine", "t3d", "machine profile: t3d or paragon")
+		machineFlag = fs.String("machine", "t3d", "machine profile: t3d, paragon, cluster or xe6")
 		machineFile = fs.String("machine-file", "", "JSON machine definition (overrides -machine)")
 		ratesFlag   = fs.String("rates", "paper", "rate table: paper or calibrated")
 		exprFlag    = fs.String("expr", "", "copy-transfer expression to evaluate")
 		opFlag      = fs.String("op", "", "communication operation xQy, e.g. 1Q64 or wQw")
 		congFlag    = fs.Float64("congestion", 0, "network congestion factor (0 = machine default)")
+		levelFlag   = fs.String("level", "", "hierarchy level for calibrated rates: intra-socket, inter-socket or inter-node")
 		listFlag    = fs.Bool("list", false, "print the rate table and exit")
+		fitFlag     = fs.String("fit", "", `measured (size_bytes, rate_MBps) rows to fit, JSON or CSV ("-" for stdin)`)
+		fitOutFlag  = fs.String("fit-out", "", "write the fitted machine profile JSON to this file")
+		nameFlag    = fs.String("name", "", "name for the fitted profile (default: keep the base machine's name)")
 		sweepFlag   = fs.String("sweep", "", `JSON sweep spec file ("-" for stdin)`)
 		formatFlag  = fs.String("format", "text", "sweep output format: text, csv or markdown")
 		jFlag       = fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
@@ -84,6 +99,19 @@ func run(args []string, out io.Writer) (int, error) {
 		return runSweep(*sweepFlag, *formatFlag, *jFlag, *engineFlag, out)
 	}
 
+	var loaded *machine.Machine
+	if *machineFile != "" {
+		m, err := machine.LoadFile(*machineFile)
+		if err != nil {
+			return 1, err
+		}
+		loaded = m
+	}
+
+	if *fitFlag != "" {
+		return runFit(*fitFlag, *machineFlag, *nameFlag, *fitOutFlag, loaded, out)
+	}
+
 	req := query.EvalRequest{
 		Machine:    *machineFlag,
 		Rates:      *ratesFlag,
@@ -91,13 +119,8 @@ func run(args []string, out io.Writer) (int, error) {
 		Op:         *opFlag,
 		List:       *listFlag,
 		Congestion: *congFlag,
-	}
-	if *machineFile != "" {
-		m, err := machine.LoadFile(*machineFile)
-		if err != nil {
-			return 1, err
-		}
-		req.M = m
+		Level:      *levelFlag,
+		M:          loaded,
 	}
 	if !req.List && req.Expr == "" && req.Op == "" {
 		fs.Usage()
@@ -113,6 +136,45 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	if _, err := io.WriteString(out, resp.Text); err != nil {
 		return 1, err
+	}
+	return 0, nil
+}
+
+// runFit executes a -fit invocation: parse the measured rows, fit them
+// onto the base profile via internal/query (so stdout is byte-identical
+// to a served /v1/fit answer's Text), and optionally write the fitted
+// profile JSON.
+func runFit(rowsPath, base, name, outPath string, loaded *machine.Machine, out io.Writer) (int, error) {
+	var data []byte
+	var err error
+	if rowsPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(rowsPath)
+	}
+	if err != nil {
+		return 1, err
+	}
+	rows, err := calibrate.ParseRows(data)
+	if err != nil {
+		return 2, fmt.Errorf("%w: %v", query.ErrBadRequest, err)
+	}
+
+	resp, err := query.Fit(query.FitRequest{Base: base, Rows: rows, Name: name, M: loaded})
+	if err != nil {
+		if errors.Is(err, query.ErrBadRequest) {
+			return 2, err
+		}
+		return 1, err
+	}
+	if _, err := io.WriteString(out, resp.Text); err != nil {
+		return 1, err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, resp.Profile, 0o644); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
 	}
 	return 0, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"ctcomm/internal/aapc"
 	"ctcomm/internal/apps"
+	"ctcomm/internal/calibrate"
 	"ctcomm/internal/comm"
 	"ctcomm/internal/datatype"
 	"ctcomm/internal/distrib"
@@ -187,6 +188,29 @@ func Plan(q PlanQuery) (PlanAnswer, error) { return query.Plan(q) }
 
 // Price answers a PriceQuery.
 func Price(q PriceQuery) (PriceAnswer, error) { return query.Price(q) }
+
+// FitQuery least-squares fits machine-profile constants from measured
+// (size_bytes, rate_MBps) rows, per hierarchy level, against a named
+// base profile (ctmodel -fit / POST /v1/fit).
+type FitQuery = query.FitRequest
+
+// FitAnswer is the structured + rendered result of a FitQuery: the
+// per-level fitted constants with their per-point error report, and the
+// fitted profile as loadable machine JSON.
+type FitAnswer = query.FitResponse
+
+// MeasuredRow is one calibration measurement: a transfer size, the rate
+// achieved at that size, and (for hierarchical bases) the tier the
+// measurement crossed.
+type MeasuredRow = calibrate.MeasuredRow
+
+// Fit answers a FitQuery.
+func Fit(q FitQuery) (FitAnswer, error) { return query.Fit(q) }
+
+// ParseMeasuredRows parses measurement rows from JSON (an array or a
+// {"rows": [...]} object) or CSV (size_bytes, rate_MBps[, level], with
+// an optional header line) — the formats ctmodel -fit accepts.
+func ParseMeasuredRows(data []byte) ([]MeasuredRow, error) { return calibrate.ParseRows(data) }
 
 // ParseOperation parses an "xQy" operation name into its pattern pair.
 func ParseOperation(op string) (x, y Pattern, err error) { return query.ParseOp(op) }

@@ -1,0 +1,347 @@
+package calibrate
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/netsim"
+)
+
+// This file fits machine-profile constants from measurements instead of
+// hard-coding 1995 datasheet values. González-Domínguez et al. (PAPERS.md)
+// show that the per-tier startup+bandwidth constants of a hierarchical
+// communication model can be recovered from measured (size, rate) rows by
+// least squares with ~1.5% error; the same closed form applies here.
+//
+// The model is the classic postal form: a transfer of s bytes takes
+//
+//	T(s) = t0 + s/B        (t0 startup, B asymptotic payload bandwidth)
+//
+// so measured rates r_i = s_i/T_i convert to times T_i = 1e3·s_i/r_i ns
+// (s in bytes, r in MB/s = bytes/us), and (t0, 1/B) drop out of an
+// ordinary linear regression of T on s. B is then inverted through the
+// framing/congestion/copy arithmetic of netsim.Config.RateAt to the
+// tier's LinkMBps, holding the tier's other constants (copy cost,
+// congestion floor, packet framing) at the base profile's values.
+//
+// The measurement convention is the uncongested streaming benchmark:
+// rates are payload MB/s for data-only (Nd) framed transfers at the
+// tier's natural congestion floor — exactly what Synthesize generates
+// and what a ping-pong/streaming microbenchmark measures.
+
+// MeasuredRow is one calibration measurement: a transfer size and the
+// achieved payload rate, optionally tagged with the hierarchy tier the
+// endpoints spanned. Flat machines leave Level empty; hierarchical
+// machines must tag every row.
+type MeasuredRow struct {
+	SizeBytes float64 `json:"size_bytes"`
+	RateMBps  float64 `json:"rate_MBps"`
+	Level     string  `json:"level,omitempty"`
+}
+
+// ParseRows decodes measurement rows from JSON (an array of rows or an
+// object with a "rows" array) or CSV (columns size_bytes, rate_MBps and
+// optionally level, with or without a header line).
+func ParseRows(data []byte) ([]MeasuredRow, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, fmt.Errorf("calibrate: no measurement rows")
+	}
+	switch trimmed[0] {
+	case '[':
+		var rows []MeasuredRow
+		if err := json.Unmarshal([]byte(trimmed), &rows); err != nil {
+			return nil, fmt.Errorf("calibrate: parsing measurement JSON: %w", err)
+		}
+		return rows, nil
+	case '{':
+		var doc struct {
+			Rows []MeasuredRow `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(trimmed), &doc); err != nil {
+			return nil, fmt.Errorf("calibrate: parsing measurement JSON: %w", err)
+		}
+		return doc.Rows, nil
+	}
+	return parseCSVRows(trimmed)
+}
+
+func parseCSVRows(text string) ([]MeasuredRow, error) {
+	r := csv.NewReader(strings.NewReader(text))
+	r.FieldsPerRecord = -1 // level column is optional
+	r.TrimLeadingSpace = true
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: parsing measurement CSV: %w", err)
+	}
+	var rows []MeasuredRow
+	for i, rec := range records {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("calibrate: CSV line %d: want size_bytes,rate_MBps[,level]", i+1)
+		}
+		size, err1 := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		rate, err2 := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if err1 != nil || err2 != nil {
+			if i == 0 {
+				continue // header line
+			}
+			return nil, fmt.Errorf("calibrate: CSV line %d: non-numeric size or rate", i+1)
+		}
+		row := MeasuredRow{SizeBytes: size, RateMBps: rate}
+		if len(rec) >= 3 {
+			row.Level = strings.TrimSpace(rec[2])
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("calibrate: no measurement rows in CSV")
+	}
+	return rows, nil
+}
+
+// FitPoint is one measurement with the fitted model's prediction.
+type FitPoint struct {
+	SizeBytes    float64 `json:"size_bytes"`
+	MeasuredMBps float64 `json:"measured_MBps"`
+	ModelMBps    float64 `json:"model_MBps"`
+	ErrPct       float64 `json:"err_pct"`
+}
+
+// LevelFit is the fitted constant pair of one hierarchy tier (or of the
+// whole machine, for flat profiles: Level is then empty).
+type LevelFit struct {
+	Level string `json:"level,omitempty"`
+	// StartupNs and RateMBps are the fitted postal constants t0 and B.
+	StartupNs float64 `json:"startup_ns"`
+	RateMBps  float64 `json:"rate_MBps"`
+	// LinkMBps is B inverted through the framing/congestion/copy
+	// arithmetic — the constant actually written into the profile.
+	LinkMBps  float64    `json:"link_MBps"`
+	MaxErrPct float64    `json:"max_err_pct"`
+	Points    []FitPoint `json:"points"`
+}
+
+// FitResult is a completed calibration fit: per-tier constants with
+// per-point errors, plus the emitted profile ready to save and load.
+type FitResult struct {
+	Base    *machine.Machine
+	Machine *machine.Machine
+	Levels  []LevelFit
+}
+
+// round9 rounds to 9 significant digits. Fitted constants carry ~1e-12
+// relative regression noise; snapping to 9 digits recovers round-number
+// profile constants exactly while staying far below measurement error.
+func round9(x float64) float64 {
+	if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	exp := math.Ceil(math.Log10(math.Abs(x)))
+	scale := math.Pow(10, 9-exp)
+	return math.Round(x*scale) / scale
+}
+
+// lsqFit regresses T = t0 + beta·s over the rows' (size, time) points.
+// The regression is weighted by 1/T² — i.e. it minimizes RELATIVE time
+// error — because calibration sweeps span three orders of magnitude in
+// size: unweighted absolute-error lsq would let the multi-megabyte
+// points (whose times are ~1000x larger) completely swamp the startup
+// intercept, turning 1% rate noise into wildly wrong t0. Means are
+// subtracted before forming the normal equations so exact collinear
+// input recovers the constants to ~1 ulp.
+func lsqFit(rows []MeasuredRow) (t0, beta float64, err error) {
+	var sumW, sumWS, sumWT float64
+	distinct := map[float64]bool{}
+	for _, r := range rows {
+		if r.SizeBytes <= 0 || r.RateMBps <= 0 {
+			return 0, 0, fmt.Errorf("calibrate: rows need positive size_bytes and rate_MBps, got (%g, %g)",
+				r.SizeBytes, r.RateMBps)
+		}
+		t := 1e3 * r.SizeBytes / r.RateMBps // ns
+		w := 1 / (t * t)
+		sumW += w
+		sumWS += w * r.SizeBytes
+		sumWT += w * t
+		distinct[r.SizeBytes] = true
+	}
+	if len(distinct) < 2 {
+		return 0, 0, fmt.Errorf("calibrate: need measurements at >= 2 distinct sizes, got %d", len(distinct))
+	}
+	meanS, meanT := sumWS/sumW, sumWT/sumW
+	var cov, varS float64
+	for _, r := range rows {
+		t := 1e3 * r.SizeBytes / r.RateMBps
+		w := 1 / (t * t)
+		ds, dt := r.SizeBytes-meanS, t-meanT
+		cov += w * ds * dt
+		varS += w * ds * ds
+	}
+	beta = cov / varS
+	t0 = meanT - beta*meanS
+	if beta <= 0 {
+		return 0, 0, fmt.Errorf("calibrate: fitted bandwidth is not positive (rates grow with size too fast; check the rows)")
+	}
+	if t0 < 0 {
+		t0 = 0 // mild measurement noise can pull the intercept negative
+	}
+	return round9(t0), beta, nil
+}
+
+// Fit least-squares fits per-tier startup+bandwidth constants from
+// measured rows and emits a profile cloned from base with those
+// constants in place. Flat bases take untagged rows and fit
+// (LibOverheadNs, Net.LinkMBps); hierarchical bases require every row
+// tagged with its tier and fit (StartupNs, LinkMBps) per tier that has
+// rows — tiers without measurements keep the base constants. name, when
+// non-empty, renames the emitted profile (the default keeps the base
+// name, so fitted answers diff cleanly against built-in ones).
+func Fit(base *machine.Machine, rows []MeasuredRow, name string) (*FitResult, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("calibrate: no measurement rows")
+	}
+	hier := base.Net.Hier
+
+	// Group rows by tier, validating tags against the base's shape.
+	groups := map[netsim.Level][]MeasuredRow{}
+	var flatRows []MeasuredRow
+	for _, r := range rows {
+		if hier == nil {
+			if r.Level != "" {
+				return nil, fmt.Errorf("calibrate: base profile %q is flat but row (%g B) is tagged level %q",
+					base.Name, r.SizeBytes, r.Level)
+			}
+			flatRows = append(flatRows, r)
+			continue
+		}
+		if r.Level == "" {
+			return nil, fmt.Errorf("calibrate: base profile %q is hierarchical; every row needs a level tag", base.Name)
+		}
+		l, err := netsim.ParseLevel(r.Level)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: %w", err)
+		}
+		groups[l] = append(groups[l], r)
+	}
+
+	fitted := base.Clone()
+	if name != "" {
+		fitted.Name = name
+	}
+	var levels []LevelFit
+
+	fitGroup := func(level netsim.Level, tag string, rows []MeasuredRow) (LevelFit, float64, float64, error) {
+		t0, beta, err := lsqFit(rows)
+		if err != nil {
+			if tag != "" {
+				err = fmt.Errorf("%w (level %s)", err, tag)
+			}
+			return LevelFit{}, 0, 0, err
+		}
+		rate := round9(1e3 / beta)
+		// Invert from the UNROUNDED rate: the copy-cost subtraction in the
+		// inverse amplifies relative error, so rounding first would keep
+		// round-number link constants from snapping back exactly.
+		link, err := fitted.Net.LinkForRate(level, netsim.DataOnly, 1e3/beta)
+		if err != nil {
+			return LevelFit{}, 0, 0, fmt.Errorf("calibrate: %w", err)
+		}
+		link = round9(link)
+		lf := LevelFit{Level: tag, StartupNs: t0, RateMBps: rate, LinkMBps: link}
+		betaFit := 1e3 / rate
+		for _, r := range rows {
+			model := 1e3 * r.SizeBytes / (t0 + betaFit*r.SizeBytes)
+			errPct := math.Abs(model-r.RateMBps) / r.RateMBps * 100
+			lf.Points = append(lf.Points, FitPoint{
+				SizeBytes: r.SizeBytes, MeasuredMBps: r.RateMBps,
+				ModelMBps: round9(model), ErrPct: round9(errPct),
+			})
+			if errPct > lf.MaxErrPct {
+				lf.MaxErrPct = round9(errPct)
+			}
+		}
+		sort.Slice(lf.Points, func(i, j int) bool { return lf.Points[i].SizeBytes < lf.Points[j].SizeBytes })
+		return lf, t0, link, nil
+	}
+
+	if hier == nil {
+		lf, t0, link, err := fitGroup(netsim.InterNode, "", flatRows)
+		if err != nil {
+			return nil, err
+		}
+		fitted.Net.LinkMBps = link
+		fitted.LibOverheadNs = t0
+		if fitted.PVMOverheadNs < t0 {
+			fitted.PVMOverheadNs = t0 // keep the overhead ordering invariant
+		}
+		levels = append(levels, lf)
+	} else {
+		for _, l := range netsim.Levels() {
+			rs, ok := groups[l]
+			if !ok {
+				continue
+			}
+			lf, t0, link, err := fitGroup(l, l.String(), rs)
+			if err != nil {
+				return nil, err
+			}
+			lc := fitted.Net.Hier.Level(l)
+			lc.StartupNs = t0
+			lc.LinkMBps = link
+			fitted.Net.Hier.SetLevel(l, lc)
+			if l == netsim.InterNode {
+				// Profiles keep the flat rate mirroring the inter-node tier
+				// so flat-only code paths stay coherent.
+				fitted.Net.LinkMBps = link
+			}
+			levels = append(levels, lf)
+		}
+	}
+
+	if err := fitted.Validate(); err != nil {
+		return nil, fmt.Errorf("calibrate: fitted profile is invalid: %w", err)
+	}
+	return &FitResult{Base: base, Machine: fitted, Levels: levels}, nil
+}
+
+// DefaultFitSizes are the transfer sizes Synthesize samples: a
+// log-spaced ramp from small (startup-dominated) to large
+// (bandwidth-dominated), the spread a real calibration sweep needs for
+// the intercept and slope to both be well conditioned.
+var DefaultFitSizes = []float64{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
+
+// Synthesize generates the measurement rows a perfect calibration run
+// on m would produce at the given sizes (DefaultFitSizes when nil):
+// data-only payload rates at each tier's congestion floor, with the
+// tier's startup folded in. Fit on these rows recovers m's constants
+// exactly (round-trip golden tests rely on it).
+func Synthesize(m *machine.Machine, sizes []float64) []MeasuredRow {
+	if len(sizes) == 0 {
+		sizes = DefaultFitSizes
+	}
+	var rows []MeasuredRow
+	emit := func(level netsim.Level, tag string, t0 float64) {
+		rate := m.Net.RateAt(level, netsim.DataOnly, 1) // clamps to the tier floor
+		beta := 1e3 / rate
+		for _, s := range sizes {
+			rows = append(rows, MeasuredRow{
+				SizeBytes: s,
+				RateMBps:  1e3 * s / (t0 + beta*s),
+				Level:     tag,
+			})
+		}
+	}
+	if m.Net.Hier == nil {
+		emit(netsim.InterNode, "", m.LibOverheadNs)
+		return rows
+	}
+	for _, l := range netsim.Levels() {
+		emit(l, l.String(), m.Net.Hier.Level(l).StartupNs)
+	}
+	return rows
+}

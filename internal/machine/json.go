@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -97,25 +98,45 @@ func (m *Machine) MarshalJSON() ([]byte, error) {
 	}, "", "  ")
 }
 
-// UnmarshalJSON deserializes and validates a Spec document.
+// strictUnmarshal decodes JSON rejecting unknown fields, so a typo in a
+// hand-written profile (say "hier" under the wrong object) is an error
+// rather than a silently dropped constant.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("machine: trailing data after JSON document")
+	}
+	return nil
+}
+
+// UnmarshalJSON deserializes and validates a Spec document. Unknown
+// fields anywhere in the document are rejected; unset hierarchy levels
+// are defaulted explicitly by validation (Hierarchy.Normalize), so the
+// decoded machine re-encodes byte-stably. Every failure is an
+// ErrBadSpec — a loaded profile can be reported as a client error but
+// can never crash the process.
 func (m *Machine) UnmarshalJSON(data []byte) error {
 	var s Spec
-	if err := json.Unmarshal(data, &s); err != nil {
-		return err
+	if err := strictUnmarshal(data, &s); err != nil {
+		return badSpec(err)
 	}
 	topo, err := buildTopo(s.Topo)
 	if err != nil {
-		return err
+		return badSpec(err)
 	}
 	m.Name = s.Name
 	if len(s.Mem) > 0 {
-		if err := json.Unmarshal(s.Mem, &m.Mem); err != nil {
-			return err
+		if err := strictUnmarshal(s.Mem, &m.Mem); err != nil {
+			return badSpec(fmt.Errorf("mem: %w", err))
 		}
 	}
 	if len(s.Net) > 0 {
-		if err := json.Unmarshal(s.Net, &m.Net); err != nil {
-			return err
+		if err := strictUnmarshal(s.Net, &m.Net); err != nil {
+			return badSpec(fmt.Errorf("net: %w", err))
 		}
 	}
 	m.Topo = topo
@@ -128,7 +149,7 @@ func (m *Machine) UnmarshalJSON(data []byte) error {
 	m.DefaultCongestion = s.DefaultCongestion
 	m.LibOverheadNs = s.LibOverheadNs
 	m.PVMOverheadNs = s.PVMOverheadNs
-	return m.Validate()
+	return badSpec(m.Validate())
 }
 
 // SaveFile writes the machine definition as JSON.

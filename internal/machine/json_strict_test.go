@@ -1,0 +1,184 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"ctcomm/internal/netsim"
+)
+
+// TestJSONRejectsUnknownFields pins strict decoding at every nesting
+// depth: a typo'd key in the top-level spec, the memory config, the
+// network config, or the hierarchy block is an ErrBadSpec, never a
+// silently dropped constant.
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	good, err := json.Marshal(CrayXE6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ name, old, new string }{
+		{"top level", `"name":`, `"nmae":`},
+		{"mem block", `"ClockNs":`, `"ClockNsTypo":`},
+		{"net block", `"PacketPayloadBytes":`, `"PacketPayload":`},
+		{"hier block", `"coresPerSocket":`, `"coresPerSock":`},
+		{"level block", `"copyCostNs":`, `"copyCost":`},
+	}
+	for _, c := range cases {
+		mutated := strings.Replace(string(good), c.old, c.new, 1)
+		if mutated == string(good) {
+			t.Fatalf("%s: key %s not found in encoding", c.name, c.old)
+		}
+		var m Machine
+		err := json.Unmarshal([]byte(mutated), &m)
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: unknown field should be ErrBadSpec, got %v", c.name, err)
+		}
+	}
+
+	// Loading a profile whose hierarchy does not factor the topology is
+	// an ErrBadSpec too (a served machine-file can never crash the
+	// process on a bad spec).
+	bad := strings.Replace(string(good), `"coresPerSocket":4`, `"coresPerSocket":5`, 1)
+	if bad == string(good) {
+		t.Fatal("coresPerSocket key not found in encoding")
+	}
+	var m Machine
+	if err := json.Unmarshal([]byte(bad), &m); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("indivisible hierarchy should be ErrBadSpec, got %v", err)
+	}
+}
+
+// TestJSONHierarchicalRoundTrip pins the hierarchy through the
+// marshal/unmarshal cycle: constants, placement and rates all survive.
+func TestJSONHierarchicalRoundTrip(t *testing.T) {
+	for _, m := range []*Machine{MulticoreCluster(), CrayXE6()} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		var back Machine
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if back.Net.Hier == nil {
+			t.Fatalf("%s: hierarchy lost in round trip", m.Name)
+		}
+		if *back.Net.Hier != *m.Net.Hier {
+			t.Errorf("%s: hierarchy changed: %+v vs %+v", m.Name, *back.Net.Hier, *m.Net.Hier)
+		}
+		for _, l := range netsim.Levels() {
+			for _, cong := range []float64{1, 2, 4} {
+				if got, want := back.Net.RateAt(l, netsim.DataOnly, cong), m.Net.RateAt(l, netsim.DataOnly, cong); got != want {
+					t.Errorf("%s: RateAt(%s,%g) = %v, want %v", m.Name, l, cong, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestJSONDefaultsUnsetHierarchyLevels pins Normalize-on-load: a spec
+// that sets only the inter-node tier re-encodes with every tier
+// explicit (inherited from the outer tier), so encode(decode(x)) is a
+// fixed point even for partial specs.
+func TestJSONDefaultsUnsetHierarchyLevels(t *testing.T) {
+	// Start from a valid hierarchical profile and delete the two inner
+	// tiers from its encoding.
+	full, err := json.Marshal(MulticoreCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(full, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var net map[string]json.RawMessage
+	if err := json.Unmarshal(doc["net"], &net); err != nil {
+		t.Fatal(err)
+	}
+	var hier map[string]json.RawMessage
+	if err := json.Unmarshal(net["Hier"], &hier); err != nil {
+		t.Fatal(err)
+	}
+	delete(hier, "intraSocket")
+	delete(hier, "interSocket")
+	net["Hier"], _ = json.Marshal(hier)
+	doc["net"], _ = json.Marshal(net)
+	spec, _ := json.Marshal(doc)
+
+	var m Machine
+	if err := json.Unmarshal(spec, &m); err != nil {
+		t.Fatal(err)
+	}
+	h := m.Net.Hier
+	if h.InterSocket != h.InterNode || h.IntraSocket != h.InterNode {
+		t.Errorf("unset tiers should inherit inter-node: %+v", *h)
+	}
+	enc1, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Machine
+	if err := json.Unmarshal(enc1, &back); err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Errorf("partial spec not byte-stable:\n%s\nvs\n%s", enc1, enc2)
+	}
+}
+
+// FuzzMachineJSONRoundTrip feeds arbitrary bytes at the strict decoder:
+// anything that decodes must re-encode byte-stably
+// (encode(decode(x)) == encode(decode(encode(decode(x))))), and nothing
+// may panic — the property that lets ctserved accept machine specs from
+// the network.
+func FuzzMachineJSONRoundTrip(f *testing.F) {
+	for _, m := range AllProfiles() {
+		data, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","topo":{"type":"mesh2d","dims":[2,2]},"busMBps":100}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Machine
+		if err := json.Unmarshal(data, &m); err != nil {
+			if !errors.Is(err, ErrBadSpec) && !isEncodingError(err) {
+				t.Fatalf("decode error is neither ErrBadSpec nor a JSON error: %v", err)
+			}
+			return
+		}
+		enc1, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("decoded machine failed to encode: %v", err)
+		}
+		var back Machine
+		if err := json.Unmarshal(enc1, &back); err != nil {
+			t.Fatalf("own encoding failed to decode: %v\n%s", err, enc1)
+		}
+		enc2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Errorf("round trip not byte-stable:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}
+
+// isEncodingError reports whether err came from encoding/json's own
+// syntax/type machinery (fuzz inputs that are not even JSON documents
+// reach the decoder before any Machine validation does).
+func isEncodingError(err error) bool {
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	return errors.As(err, &syn) || errors.As(err, &typ)
+}

@@ -6,6 +6,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 
 	"ctcomm/internal/memsim"
@@ -13,6 +14,20 @@ import (
 	"ctcomm/internal/pattern"
 	"ctcomm/internal/sim"
 )
+
+// ErrBadSpec marks machine-specification errors: an invalid topology,
+// hierarchy, sizing, or field value — whether in a built-in sizing call
+// or a loaded JSON profile. Serving layers test for it with errors.Is
+// and answer a client error instead of crashing.
+var ErrBadSpec = errors.New("bad machine spec")
+
+// badSpec tags err as a specification error (nil-safe).
+func badSpec(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrBadSpec, err)
+}
 
 // NIConfig describes the processor-visible network interface: a
 // memory-mapped port the processor stores outgoing words to (the T3D
@@ -168,7 +183,24 @@ func (m *Machine) Validate() error {
 	case m.LibOverheadNs < 0 || m.PVMOverheadNs < m.LibOverheadNs:
 		return fmt.Errorf("machine: %s: invalid per-message overheads", m.Name)
 	}
+	if m.Net.Hier != nil {
+		// Net.Validate normalized the hierarchy; re-check it against the
+		// actual node count, which netsim alone cannot know.
+		if err := m.Net.Hier.Validate(m.Topo.Nodes()); err != nil {
+			return fmt.Errorf("machine: %s: %w", m.Name, err)
+		}
+	}
 	return nil
+}
+
+// Clone returns a copy of the profile that is safe to mutate
+// independently: value fields copy, and the network hierarchy — the one
+// mutable pointer a profile owns — is deep-copied. The calibration
+// fitter clones a base profile before rewriting its constants.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.Net.Hier = m.Net.Hier.Clone()
+	return &c
 }
 
 // Nodes returns the number of compute nodes in the configured machine.

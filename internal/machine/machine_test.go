@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"testing"
 
 	"ctcomm/internal/pattern"
@@ -153,5 +154,37 @@ func TestDepositMinUnit(t *testing.T) {
 	}
 	if !d.Supports(pattern.Contig()) {
 		t.Error("unit-4 engine chains contiguous blocks")
+	}
+}
+
+// TestConstructorErrorPath pins the no-panic contract: bad sizes reach
+// the caller as ErrBadSpec through the error-returning constructors —
+// the path ctserved machine-file loading depends on — while the
+// panicking wrappers stay reserved for the known-good built-ins.
+func TestConstructorErrorPath(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		err  func() error
+	}{
+		{"T3DSized(0,4,4)", func() error { _, err := T3DSized(0, 4, 4); return err }},
+		{"T3DSized(-1,1,1)", func() error { _, err := T3DSized(-1, 1, 1); return err }},
+		{"ParagonSized(0,16)", func() error { _, err := ParagonSized(0, 16); return err }},
+	} {
+		err := c.err()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v should wrap ErrBadSpec", c.name, err)
+		}
+	}
+
+	// The known-good constructors must not error (the panic wrappers
+	// T3D()/Paragon()/MulticoreCluster()/CrayXE6() rely on it).
+	for _, mk := range []func() (*Machine, error){NewT3D, NewParagon, NewMulticoreCluster, NewCrayXE6} {
+		if m, err := mk(); err != nil || m == nil {
+			t.Errorf("built-in constructor failed: %v", err)
+		}
 	}
 }

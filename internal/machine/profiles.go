@@ -16,16 +16,32 @@ import (
 // application measurements (a 64-node partition of a 512-node T3D).
 const T3DNodes = 64
 
-// T3D returns the Cray T3D profile: a 150 MHz Alpha 21064 with an 8 KB
+// mustProfile unwraps a built-in constructor. The static built-in specs
+// are known good; a failure here is a programmer error in this file,
+// never reachable from user input (loaded or sized specs go through the
+// error-returning constructors).
+func mustProfile(m *Machine, err error) *Machine {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// T3D returns the Cray T3D profile; see NewT3D.
+func T3D() *Machine { return mustProfile(NewT3D()) }
+
+// NewT3D builds the Cray T3D profile: a 150 MHz Alpha 21064 with an 8 KB
 // direct-mapped on-chip cache, write-around stores with a merging
 // write-back queue, RDAL read-ahead for contiguous load streams, a
 // memory-mapped annex port for remote stores, and a fully flexible
 // deposit engine that handles contiguous, strided and indexed incoming
-// remote stores in the background (paper §3.5.1).
-func T3D() *Machine {
+// remote stores in the background (paper §3.5.1). Construction errors
+// (topology or validation) return wrapped in ErrBadSpec instead of
+// panicking, so spec problems can never crash a serving process.
+func NewT3D() (*Machine, error) {
 	topo, err := netsim.NewTorus3D(4, 4, 4) // 64-node partition
 	if err != nil {
-		panic(err)
+		return nil, badSpec(err)
 	}
 	m := &Machine{
 		Name: "Cray T3D",
@@ -83,24 +99,27 @@ func T3D() *Machine {
 		PVMOverheadNs:     350e3, // Cray PVM3 buffered send
 	}
 	if err := m.Validate(); err != nil {
-		panic(err)
+		return nil, badSpec(err)
 	}
-	return m
+	return m, nil
 }
 
 // ParagonNodes is the default Paragon partition size.
 const ParagonNodes = 64
 
-// Paragon returns the Intel Paragon profile: two 50 MHz i860XP
+// Paragon returns the Intel Paragon profile; see NewParagon.
+func Paragon() *Machine { return mustProfile(NewParagon()) }
+
+// NewParagon builds the Intel Paragon profile: two 50 MHz i860XP
 // processors on a 400 MB/s bus with 16 KB 4-way write-through caches,
 // pipelined loads through the PFQ, restricted contiguous-only DMA
 // (line-transfer) engines needing processor attention, and the second
 // processor available as a flexible software deposit engine
-// (paper §3.5.2, §5.1.4).
-func Paragon() *Machine {
+// (paper §3.5.2, §5.1.4). Errors return wrapped in ErrBadSpec.
+func NewParagon() (*Machine, error) {
 	topo, err := netsim.NewMesh2D(8, 8)
 	if err != nil {
-		panic(err)
+		return nil, badSpec(err)
 	}
 	m := &Machine{
 		Name: "Intel Paragon",
@@ -168,9 +187,9 @@ func Paragon() *Machine {
 		PVMOverheadNs:     400e3, // Paragon PVM
 	}
 	if err := m.Validate(); err != nil {
-		panic(err)
+		return nil, badSpec(err)
 	}
-	return m
+	return m, nil
 }
 
 // T3DSized returns the T3D profile on an x-by-y-by-z torus. The paper
@@ -178,12 +197,12 @@ func Paragon() *Machine {
 func T3DSized(x, y, z int) (*Machine, error) {
 	topo, err := netsim.NewTorus3D(x, y, z)
 	if err != nil {
-		return nil, err
+		return nil, badSpec(err)
 	}
 	m := T3D()
 	m.Topo = topo
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, badSpec(err)
 	}
 	return m, nil
 }
@@ -194,23 +213,32 @@ func T3DSized(x, y, z int) (*Machine, error) {
 func ParagonSized(x, y int) (*Machine, error) {
 	topo, err := netsim.NewMesh2D(x, y)
 	if err != nil {
-		return nil, err
+		return nil, badSpec(err)
 	}
 	m := Paragon()
 	m.Topo = topo
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, badSpec(err)
 	}
 	return m, nil
 }
 
 // Profiles returns the machines studied in the paper, in paper order.
+// The experiment runner reproduces the paper's tables over exactly this
+// list, so it deliberately excludes the modern hierarchical profiles;
+// use AllProfiles for everything resolvable by name.
 func Profiles() []*Machine { return []*Machine{T3D(), Paragon()} }
+
+// AllProfiles returns every built-in profile: the paper's two machines
+// followed by the modern hierarchical ones.
+func AllProfiles() []*Machine {
+	return append(Profiles(), MulticoreCluster(), CrayXE6())
+}
 
 // ByName returns the profile with the given name (as in Machine.Name,
 // case-sensitive) or nil.
 func ByName(name string) *Machine {
-	for _, m := range Profiles() {
+	for _, m := range AllProfiles() {
 		if m.Name == name {
 			return m
 		}

@@ -16,7 +16,6 @@ import "ctcomm/internal/sim"
 func (n *Network) BatchCircuit(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, makespan sim.Time) {
 	done = make([]sim.Time, len(flows))
 	makespan = at
-	perByte := n.nsPerByte()
 	for i, f := range flows {
 		wire := n.cfg.WireBytes(mode, f.Bytes)
 		if f.Src == f.Dst || wire == 0 {
@@ -24,7 +23,7 @@ func (n *Network) BatchCircuit(at sim.Time, flows []Flow, mode Mode) (done []sim
 			continue
 		}
 		path := n.path(f.Src, f.Dst)
-		dur := sim.Time(float64(wire)*perByte + 0.5)
+		dur := sim.Time(float64(wire)*n.nsPerByteFor(f.Src, f.Dst) + 0.5)
 		if dur < 1 {
 			dur = 1
 		}

@@ -66,6 +66,13 @@ type Config struct {
 	// information has to travel first" (paper §3.5 footnote 2).
 	HopLatencyNs float64
 
+	// Hier, when non-nil, layers a communication hierarchy over the flat
+	// link model: per-tier link rate, congestion floor, copy cost and
+	// startup, with the tier selected by src/dst placement. Nil means the
+	// paper's flat single-tier machine; flat profiles serialize without
+	// the field, so their JSON stays byte-identical.
+	Hier *Hierarchy `json:",omitempty"`
+
 	// Stats, when non-nil, accumulates event counts and simulated time
 	// from every Batch/BatchCircuit run on networks built from this
 	// configuration. The experiment runner attaches one Stats per
@@ -89,6 +96,15 @@ func (c *Config) Validate() error {
 	case c.HopLatencyNs < 0:
 		return fmt.Errorf("netsim: %s: HopLatencyNs must be non-negative", c.Name)
 	}
+	if c.Hier != nil {
+		// Normalize first so implicit defaults (unset tiers inheriting the
+		// next outer tier) are made explicit before checking; Normalize is
+		// idempotent, so validating twice cannot change the configuration.
+		c.Hier.Normalize(c.LinkMBps)
+		if err := c.Hier.Validate(0); err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -109,8 +125,13 @@ func (c Config) Efficiency(m Mode) float64 {
 // Rate returns the payload network bandwidth in MB/s for the mode under
 // the given congestion factor ("a network link is traversed by
 // [congestion] times as much data as it can support at peak speed",
-// paper §4.3). Congestion below one is clamped to one.
+// paper §4.3). Congestion below one is clamped to one. Hierarchical
+// configurations answer with their inter-node tier — the tier the
+// paper's flat model describes.
 func (c Config) Rate(m Mode, congestion float64) float64 {
+	if c.Hier != nil {
+		return c.RateAt(InterNode, m, congestion)
+	}
 	if congestion < 1 {
 		congestion = 1
 	}

@@ -75,8 +75,19 @@ func (n *Network) port(m map[int]*sim.Resource, kind string, node int) *sim.Reso
 	return r
 }
 
-// nsPerByte converts the link bandwidth to ns per wire byte.
-func (n *Network) nsPerByte() float64 { return 1e3 / n.cfg.LinkMBps }
+// nsPerByteFor converts the link bandwidth on the src->dst flow's
+// hierarchy tier to ns per wire byte. Flat configurations use the
+// single link rate (the exact pre-hierarchy float expression, so their
+// simulated times stay bit-identical). Tier copy costs and startups
+// deliberately do NOT enter the event simulation — they are endpoint
+// model constants, folded in by Config.RateAt and the analytic layer —
+// so SendStream's closed form and Batch remain mutually consistent.
+func (n *Network) nsPerByteFor(src, dst int) float64 {
+	if n.cfg.Hier == nil {
+		return 1e3 / n.cfg.LinkMBps
+	}
+	return 1e3 / n.cfg.Hier.Level(n.cfg.Hier.LevelOf(src, dst)).LinkMBps
+}
 
 // path returns the resource chain a message from src to dst traverses:
 // injection port, route links, ejection port.
@@ -125,7 +136,7 @@ func (n *Network) SendStream(at sim.Time, src, dst int, payload int64, mode Mode
 	}
 
 	chunkBytes := int64(n.cfg.ChunkBytes)
-	perByte := n.nsPerByte()
+	perByte := n.nsPerByteFor(src, dst)
 	chunks := (wire + chunkBytes - 1) / chunkBytes
 	durOf := func(bytes int64) sim.Time {
 		d := sim.Time(float64(bytes)*perByte + 0.5)
@@ -183,9 +194,10 @@ func (n *Network) Batch(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, 
 
 	type flowState struct {
 		path      []*sim.Resource
-		chunks    int64 // total chunks
-		lastBytes int64 // size of the final chunk
-		launched  int64 // chunks that entered hop 0
+		chunks    int64   // total chunks
+		lastBytes int64   // size of the final chunk
+		launched  int64   // chunks that entered hop 0
+		perByte   float64 // ns per wire byte on the flow's hierarchy tier
 	}
 	// chunk in flight: identified by flow index, chunk index, hop index.
 	type arrival struct {
@@ -196,7 +208,6 @@ func (n *Network) Batch(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, 
 	}
 
 	states := make([]*flowState, len(flows))
-	perByte := n.nsPerByte()
 	chunkBytes := int64(n.cfg.ChunkBytes)
 	for i, f := range flows {
 		wire := n.cfg.WireBytes(mode, f.Bytes)
@@ -210,6 +221,7 @@ func (n *Network) Batch(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, 
 			path:      n.path(f.Src, f.Dst),
 			chunks:    chunks,
 			lastBytes: last,
+			perByte:   n.nsPerByteFor(f.Src, f.Dst),
 		}
 	}
 
@@ -218,7 +230,7 @@ func (n *Network) Batch(at sim.Time, flows []Flow, mode Mode) (done []sim.Time, 
 		if chunk == st.chunks-1 {
 			bytes = st.lastBytes
 		}
-		d := sim.Time(float64(bytes)*perByte + 0.5)
+		d := sim.Time(float64(bytes)*st.perByte + 0.5)
 		if d < 1 {
 			d = 1
 		}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTorusDegenerateDimensions pins routing on tori with 1-wide
+// dimensions: a 1x1x1 torus has exactly one node (every route is the
+// empty self-route), and an Nx1x1 torus degenerates to a ring whose
+// shortest-way routing still terminates and never routes through a
+// degenerate dimension.
+func TestTorusDegenerateDimensions(t *testing.T) {
+	single, err := NewTorus3D(1, 1, 1)
+	if err != nil {
+		t.Fatalf("1x1x1 torus is legal (a single node): %v", err)
+	}
+	if single.Nodes() != 1 {
+		t.Fatalf("1x1x1 nodes = %d", single.Nodes())
+	}
+	if r := single.Route(0, 0); r != nil {
+		t.Errorf("self route on the single node = %v, want nil", r)
+	}
+
+	ring, _ := NewTorus3D(5, 1, 1)
+	// Odd ring: 0->3 is 2 hops backwards (5-3=2), 0->2 is 2 hops forward.
+	if got := len(ring.Route(0, 3)); got != 2 {
+		t.Errorf("ring route 0->3 length %d, want 2 (wraparound)", got)
+	}
+	if got := len(ring.Route(0, 2)); got != 2 {
+		t.Errorf("ring route 0->2 length %d, want 2", got)
+	}
+	// Every pair routes within bounds and terminates.
+	for s := 0; s < ring.Nodes(); s++ {
+		for d := 0; d < ring.Nodes(); d++ {
+			for _, l := range ring.Route(s, d) {
+				if l < 0 || l >= ring.Links() {
+					t.Fatalf("ring link id %d out of [0,%d)", l, ring.Links())
+				}
+			}
+		}
+	}
+
+	// Invalid dimensions, including negatives, are rejected with the
+	// dims in the message.
+	for _, dims := range [][3]int{{0, 4, 4}, {4, -1, 4}, {4, 4, 0}} {
+		_, err := NewTorus3D(dims[0], dims[1], dims[2])
+		if err == nil || !strings.Contains(err.Error(), "invalid torus dims") {
+			t.Errorf("NewTorus3D(%v) err = %v, want invalid-dims error", dims, err)
+		}
+	}
+	if _, err := NewMesh2D(-2, 3); err == nil {
+		t.Error("NewMesh2D(-2,3) should fail")
+	}
+}
+
+// TestHierarchyNodeCountMustFactor pins the topology/hierarchy
+// interaction: a Config with a hierarchy validates structurally, but a
+// node count that does not factor into whole sockets and multi-core
+// nodes is rejected when the hierarchy is checked against the topology.
+func TestHierarchyNodeCountMustFactor(t *testing.T) {
+	h := testHierarchy() // 2 cores/socket x 2 sockets/node = 4 cores/node
+	for _, nodes := range []int{4, 8, 64} {
+		if err := h.Validate(nodes); err != nil {
+			t.Errorf("%d nodes should factor into 4-core nodes: %v", nodes, err)
+		}
+	}
+	for _, nodes := range []int{2, 6, 63} {
+		if err := h.Validate(nodes); err == nil {
+			t.Errorf("%d nodes should NOT factor into 4-core nodes", nodes)
+		}
+	}
+}
+
+// TestNodesPerPortExceedsNodes pins the clamping behavior: NodesPerPort
+// larger than the node count is legal — the port index src/NodesPerPort
+// maps every node to port 0, i.e. the whole machine shares one
+// injection/ejection port — and the network stays functional (sends
+// complete; concurrent sends serialize at the shared port).
+func TestNodesPerPortExceedsNodes(t *testing.T) {
+	to, _ := NewTorus3D(4, 1, 1)
+	cfg := testNetConfig()
+	cfg.NodesPerPort = 64 // far more than 4 nodes: everyone shares port 0
+	n, err := NewNetwork(to, cfg)
+	if err != nil {
+		t.Fatalf("NodesPerPort > nodes must stay constructible: %v", err)
+	}
+	payload := int64(1 << 18)
+	single := n.Send(0, 0, 1, payload, DataOnly)
+	if single <= 0 {
+		t.Fatalf("send on shared-port network finished at %v", single)
+	}
+	n2, _ := NewNetwork(to, cfg)
+	// Disjoint routes (0->1 and 2->3), but one shared machine-wide port:
+	// the batch must serialize to ~2x a single transfer.
+	_, shared := n2.Batch(0, []Flow{{0, 1, payload}, {2, 3, payload}}, DataOnly)
+	if ratio := float64(shared) / float64(single); ratio < 1.5 {
+		t.Errorf("machine-wide shared port: makespan ratio %.2f, want ~2 (serialized)", ratio)
+	}
+}

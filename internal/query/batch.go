@@ -8,6 +8,7 @@ import (
 	"ctcomm/internal/comm"
 	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
+	"ctcomm/internal/netsim"
 )
 
 // Batch is the shared evaluation context for one sweep (or any other
@@ -42,6 +43,7 @@ type Batch struct {
 type tableKey struct {
 	rates string
 	m     *machine.Machine // pointer identity: one *Machine per profile per batch
+	level string           // canonical tier spelling; "" = default view
 }
 
 // NewBatch returns an empty batch context.
@@ -83,8 +85,11 @@ func (b *Batch) Machine(name string) (*machine.Machine, error) {
 // calibrate.SharedRateTable, so the conversion (and on a cache miss,
 // the measurement) happens once per configuration process-wide instead
 // of once per cell.
-func (b *Batch) table(rates string, m *machine.Machine) (*model.RateTable, error) {
+func (b *Batch) table(rates string, m *machine.Machine, level *netsim.Level) (*model.RateTable, error) {
 	k := tableKey{rates: rates, m: m}
+	if level != nil {
+		k.level = level.String()
+	}
 	b.mu.Lock()
 	rt, ok := b.tables[k]
 	b.mu.Unlock()
@@ -92,10 +97,13 @@ func (b *Batch) table(rates string, m *machine.Machine) (*model.RateTable, error
 		return rt, nil
 	}
 	var err error
-	if rates == "calibrated" {
+	switch {
+	case rates == "calibrated" && level != nil:
+		rt = calibrate.SharedRateTableAt(m, *level)
+	case rates == "calibrated":
 		rt = calibrate.SharedRateTable(m)
-	} else {
-		rt, err = rateTable(rates, m)
+	default:
+		rt, err = rateTable(rates, m, level)
 		if err != nil {
 			return nil, err
 		}

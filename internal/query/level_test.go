@@ -1,0 +1,113 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ctcomm/internal/calibrate"
+	"ctcomm/internal/machine"
+)
+
+// TestEvalLevelSelectsTier pins level-aware evaluation: the same
+// expression against a hierarchical machine answers faster on inner
+// tiers, the response echoes the canonical level spelling, and the
+// rendered text names the level (so served answers stay
+// self-describing).
+func TestEvalLevelSelectsTier(t *testing.T) {
+	rates := func(level string) (EvalResponse, error) {
+		return Eval(EvalRequest{Machine: "xe6", Rates: "calibrated", Expr: "Nd", Level: level})
+	}
+	intra, err := rates("intra-socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := rates("inter-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra.MBps <= node.MBps {
+		t.Errorf("intra-socket %g MB/s should beat inter-node %g MB/s", intra.MBps, node.MBps)
+	}
+	if intra.Level != "intra-socket" {
+		t.Errorf("response level = %q, want canonical spelling", intra.Level)
+	}
+	if !strings.Contains(intra.Text, "level intra-socket") {
+		t.Errorf("text should name the level: %q", intra.Text)
+	}
+
+	// Compressed spellings canonicalize to the same fingerprint and the
+	// same answer.
+	numa, err := rates("NUMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := rates("inter-socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numa.Text != canon.Text {
+		t.Errorf("spellings differ: %q vs %q", numa.Text, canon.Text)
+	}
+
+	// Default view (no level) keeps the exact pre-hierarchy text format.
+	def, err := rates("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(def.Text, "level") || def.Level != "" {
+		t.Errorf("default view must not mention levels: %q", def.Text)
+	}
+}
+
+func TestEvalLevelBadRequests(t *testing.T) {
+	cases := []EvalRequest{
+		{Machine: "xe6", Rates: "calibrated", Expr: "1C64", Level: "rack"},     // unknown level
+		{Machine: "t3d", Rates: "calibrated", Expr: "1C64", Level: "numa"},     // flat machine
+		{Machine: "xe6", Rates: "paper", Expr: "1C64", Level: "intra-socket"},  // paper tables are flat
+		{Machine: "cluster", Rates: "paper", Expr: "1C64", Level: "internode"}, // ditto
+	}
+	for _, r := range cases {
+		if _, err := Eval(r); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%+v: want ErrBadRequest, got %v", r, err)
+		}
+	}
+}
+
+// TestLevelFingerprints pins the caching contract: the level is part of
+// the canonical fingerprint (distinct tiers must not collide in the
+// served cache), spellings canonicalize, and the default stays the
+// pre-hierarchy fingerprint shape.
+func TestLevelFingerprints(t *testing.T) {
+	base := EvalRequest{Machine: "xe6", Rates: "calibrated", Expr: "1C64"}
+	withLevel := base
+	withLevel.Level = "intra-socket"
+	if base.Fingerprint() == withLevel.Fingerprint() {
+		t.Error("level must enter the fingerprint")
+	}
+	spelled := base
+	spelled.Level = " Intra-Socket "
+	if spelled.Fingerprint() != withLevel.Fingerprint() {
+		t.Errorf("spellings should share a fingerprint: %q vs %q",
+			spelled.Fingerprint(), withLevel.Fingerprint())
+	}
+}
+
+// TestFitFingerprints pins the fit request key: distinct rows, bases
+// and names key distinct cache entries; identical inputs share one.
+func TestFitFingerprints(t *testing.T) {
+	rows := calibrate.Synthesize(machine.T3D(), nil)
+	a := FitRequest{Base: "t3d", Rows: rows}
+	b := FitRequest{Base: "T3D ", Rows: rows}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("base spellings should share a fingerprint")
+	}
+	named := FitRequest{Base: "t3d", Rows: rows, Name: "mine"}
+	if named.Fingerprint() == a.Fingerprint() {
+		t.Error("name must enter the fingerprint")
+	}
+	other := FitRequest{Base: "t3d", Rows: rows[1:]}
+	if other.Fingerprint() == a.Fingerprint() {
+		t.Error("rows must enter the fingerprint")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"ctcomm/internal/distrib"
 	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
+	"ctcomm/internal/netsim"
 	"ctcomm/internal/pattern"
 )
 
@@ -39,13 +40,18 @@ func badf(format string, args ...interface{}) error {
 
 // ResolveMachine maps a CLI/API machine name to a built-in profile.
 // Accepted spellings: "t3d", "cray", "cray t3d", "paragon", "intel",
-// "intel paragon" (case-insensitive), plus exact profile names.
+// "intel paragon", "cluster", "multicore cluster", "xe6", "cray xe6"
+// (case-insensitive), plus exact profile names.
 func ResolveMachine(name string) (*machine.Machine, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "t3d", "cray", "cray t3d":
 		return machine.T3D(), nil
 	case "paragon", "intel", "intel paragon":
 		return machine.Paragon(), nil
+	case "cluster", "multicore", "multicore cluster":
+		return machine.MulticoreCluster(), nil
+	case "xe6", "xe", "cray xe6":
+		return machine.CrayXE6(), nil
 	}
 	if m := machine.ByName(name); m != nil {
 		return m, nil
@@ -57,9 +63,14 @@ func ResolveMachine(name string) (*machine.Machine, error) {
 // alias of each built-in profile plus its exact profile name — so the
 // "unknown machine" error tells the user what to type instead.
 func validMachineNames() string {
-	aliases := map[string]string{"Cray T3D": "t3d", "Intel Paragon": "paragon"}
+	aliases := map[string]string{
+		"Cray T3D":          "t3d",
+		"Intel Paragon":     "paragon",
+		"Multicore Cluster": "cluster",
+		"Cray XE6":          "xe6",
+	}
 	var names []string
-	for _, m := range machine.Profiles() {
+	for _, m := range machine.AllProfiles() {
 		if a, ok := aliases[m.Name]; ok {
 			names = append(names, a)
 		}
@@ -85,16 +96,41 @@ func ParseOp(op string) (x, y pattern.Spec, err error) {
 	return x, y, nil
 }
 
-// rateTable resolves the "paper" or "calibrated" rate table for m.
-func rateTable(rates string, m *machine.Machine) (*model.RateTable, error) {
+// parseLevel resolves an optional hierarchy-level spelling against m:
+// the empty string means "default" (nil), anything else must name a
+// tier of a hierarchical machine.
+func parseLevel(level string, m *machine.Machine) (*netsim.Level, error) {
+	if strings.TrimSpace(level) == "" {
+		return nil, nil
+	}
+	l, err := netsim.ParseLevel(level)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if m.Net.Hier == nil {
+		return nil, badf("machine %q is a flat profile with no hierarchy levels", m.Name)
+	}
+	return &l, nil
+}
+
+// rateTable resolves the "paper" or "calibrated" rate table for m,
+// optionally pinned to one hierarchy tier (calibrated only: the paper
+// measured flat 1995 machines).
+func rateTable(rates string, m *machine.Machine, level *netsim.Level) (*model.RateTable, error) {
 	switch rates {
 	case "paper":
+		if level != nil {
+			return nil, badf("hierarchy levels need -rates calibrated (the paper tables are flat)")
+		}
 		rt := model.PaperTables()[m.Name]
 		if rt == nil {
 			return nil, badf("no paper rate table for machine %q", m.Name)
 		}
 		return rt, nil
 	case "calibrated":
+		if level != nil {
+			return calibrate.RateTableForAt(m, *level), nil
+		}
 		return calibrate.RateTableFor(m), nil
 	default:
 		return nil, badf("unknown -rates %q (want paper or calibrated)", rates)
@@ -121,6 +157,10 @@ type EvalRequest struct {
 	// Congestion is the network congestion factor; values below 1 select
 	// the machine default.
 	Congestion float64 `json:"congestion,omitempty"`
+	// Level pins the evaluation to one hierarchy tier of a hierarchical
+	// machine ("intra-socket", "inter-socket", "inter-node"); empty uses
+	// the machine's flat/inter-node view. Requires calibrated rates.
+	Level string `json:"level,omitempty"`
 
 	// M overrides machine resolution (cmd/ctmodel -machine-file). It is
 	// CLI-only plumbing: never serialized and excluded from fingerprints,
@@ -143,8 +183,9 @@ func (r EvalRequest) Canon() EvalRequest {
 // requests with equal fingerprints produce byte-identical responses.
 func (r EvalRequest) Fingerprint() string {
 	c := r.Canon()
-	return fmt.Sprintf("eval|%s|%s|%s|%s|%t|%g",
-		strings.ToLower(strings.TrimSpace(c.Machine)), c.Rates, c.Expr, c.Op, c.List, c.Congestion)
+	return fmt.Sprintf("eval|%s|%s|%s|%s|%t|%g|%s",
+		strings.ToLower(strings.TrimSpace(c.Machine)), c.Rates, c.Expr, c.Op, c.List, c.Congestion,
+		strings.ToLower(strings.TrimSpace(c.Level)))
 }
 
 // OpEstimate is one style's model estimate of an operation.
@@ -159,6 +200,8 @@ type EvalResponse struct {
 	Machine    string  `json:"machine"`
 	Rates      string  `json:"rates"`
 	Congestion float64 `json:"congestion"`
+	// Level is the canonical tier spelling when the request pinned one.
+	Level string `json:"level,omitempty"`
 	// Expr and MBps are set for expression queries.
 	Expr string  `json:"expr,omitempty"`
 	MBps float64 `json:"mbps,omitempty"`
@@ -202,18 +245,24 @@ func eval(r EvalRequest, b *Batch) (EvalResponse, error) {
 	if cong < 1 {
 		cong = m.DefaultCongestion
 	}
+	level, err := parseLevel(r.Level, m)
+	if err != nil {
+		return EvalResponse{}, err
+	}
 	var rt *model.RateTable
-	var err error
 	if b != nil {
-		rt, err = b.table(r.Rates, m)
+		rt, err = b.table(r.Rates, m, level)
 	} else {
-		rt, err = rateTable(r.Rates, m)
+		rt, err = rateTable(r.Rates, m, level)
 	}
 	if err != nil {
 		return EvalResponse{}, err
 	}
 
 	resp := EvalResponse{Machine: m.Name, Rates: r.Rates, Congestion: cong}
+	if level != nil {
+		resp.Level = level.String()
+	}
 	var text strings.Builder
 
 	switch {
@@ -243,8 +292,13 @@ func eval(r EvalRequest, b *Batch) (EvalResponse, error) {
 			return EvalResponse{}, err
 		}
 		resp.Expr, resp.MBps = e.String(), rate
-		fmt.Fprintf(&text, "|%s| = %.1f MB/s  (machine %s, rates %s, congestion %.0f)\n",
-			e, rate, m.Name, r.Rates, cong)
+		if level != nil {
+			fmt.Fprintf(&text, "|%s| = %.1f MB/s  (machine %s, rates %s, congestion %.0f, level %s)\n",
+				e, rate, m.Name, r.Rates, cong, level)
+		} else {
+			fmt.Fprintf(&text, "|%s| = %.1f MB/s  (machine %s, rates %s, congestion %.0f)\n",
+				e, rate, m.Name, r.Rates, cong)
+		}
 
 	case r.Op != "":
 		x, y, err := ParseOp(r.Op)

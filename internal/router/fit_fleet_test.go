@@ -1,0 +1,105 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ctcomm/internal/calibrate"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/query"
+	"ctcomm/internal/serve"
+)
+
+// TestFleetGoldenFit pins the calibration-fitting contract end to end
+// at fleet scale: a /v1/fit routed through a 4-replica fleet is
+// byte-identical to a single ctserved's answer and to the query core's
+// (which cmd/ctmodel -fit prints verbatim); the emitted profile JSON
+// loads back as a machine; and evaluations against the loaded fitted
+// profile are byte-identical to the built-in base — through the fleet
+// and through the query core alike.
+func TestFleetGoldenFit(t *testing.T) {
+	f := newFleet(t, 4, serve.Config{Workers: 2})
+	rt := newRouter(t, Config{Replicas: f.urls, ProbeInterval: -1})
+	single := serve.New(serve.Config{Workers: 2})
+	defer single.Close()
+
+	base := machine.CrayXE6()
+	rows := calibrate.Synthesize(base, nil)
+	body, err := json.Marshal(query.FitRequest{Base: "xe6", Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rw := post(rt.Handler(), "/v1/fit", string(body))
+	sw := post(single.Handler(), "/v1/fit", string(body))
+	if rw.Code != http.StatusOK || sw.Code != http.StatusOK {
+		t.Fatalf("fit: router %d, single %d: %s", rw.Code, sw.Code, rw.Body)
+	}
+	if rw.Body.String() != sw.Body.String() {
+		t.Errorf("routed /v1/fit not byte-identical to single ctserved:\n--- router\n%s\n--- single\n%s",
+			rw.Body, sw.Body)
+	}
+
+	var resp query.FitResponse
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := query.Fit(query.FitRequest{Base: "xe6", Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != want.Text {
+		t.Errorf("routed fit text != query core text (= ctmodel -fit stdout):\n--- routed\n%s\n--- core\n%s",
+			resp.Text, want.Text)
+	}
+
+	// The profile the fleet emitted must load and answer exactly like
+	// the built-in it was fitted from.
+	var fitted machine.Machine
+	if err := json.Unmarshal(resp.Profile, &fitted); err != nil {
+		t.Fatalf("emitted profile does not load: %v", err)
+	}
+	evals := []query.EvalRequest{
+		{Machine: "xe6", Rates: "calibrated", Op: "1Q64"},
+		{Machine: "xe6", Rates: "calibrated", Op: "wQw", Congestion: 4},
+		{Machine: "xe6", Rates: "calibrated", Expr: "1C64", Level: "intra-socket"},
+		{Machine: "xe6", Rates: "calibrated", Op: "1Q64", Level: "inter-socket"},
+	}
+	for _, req := range evals {
+		builtin, err := query.Eval(req)
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		loaded := req
+		loaded.M = &fitted
+		got, err := query.Eval(loaded)
+		if err != nil {
+			t.Fatalf("fitted %+v: %v", req, err)
+		}
+		if got.Text != builtin.Text {
+			t.Errorf("fitted profile answer differs from built-in for %+v:\n--- fitted\n%s\n--- builtin\n%s",
+				req, got.Text, builtin.Text)
+		}
+
+		reqBody, _ := json.Marshal(req)
+		fw := post(rt.Handler(), "/v1/eval", string(reqBody))
+		if fw.Code != http.StatusOK {
+			t.Fatalf("fleet eval %+v -> %d: %s", req, fw.Code, fw.Body)
+		}
+		var fleetResp query.EvalResponse
+		if err := json.Unmarshal(fw.Body.Bytes(), &fleetResp); err != nil {
+			t.Fatal(err)
+		}
+		if fleetResp.Text != builtin.Text {
+			t.Errorf("fleet eval differs from query core for %+v:\n--- fleet\n%s\n--- core\n%s",
+				req, fleetResp.Text, builtin.Text)
+		}
+	}
+
+	// Determinism across the fleet: re-posting the same fit (now a
+	// cache hit on its home replica) returns the identical body.
+	if again := post(rt.Handler(), "/v1/fit", string(body)); again.Body.String() != rw.Body.String() {
+		t.Error("repeated routed fit not byte-identical")
+	}
+}

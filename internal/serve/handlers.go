@@ -26,6 +26,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/eval", s.instrument("eval", s.handleEval))
 	s.mux.HandleFunc("/v1/price", s.instrument("price", s.handlePrice))
 	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
+	s.mux.HandleFunc("/v1/fit", s.instrument("fit", s.handleFit))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/cells", s.instrument("cells", s.handleCells))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
@@ -72,7 +73,14 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		// Round up and clamp to at least 1: a sub-second RetryAfter must
+		// not emit "Retry-After: 0", which clients read as "immediately"
+		// and turn into a retry storm against an overloaded server.
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded, retry later"})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "deadline exceeded"})
@@ -156,6 +164,30 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
 		return query.Plan(req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+// handleFit answers POST /v1/fit: least-squares calibration fitting of
+// measured rows onto a built-in base profile. Like every point
+// endpoint it runs through s.do, so repeated fits of the same rows
+// (keyed by the rows' digest in the fingerprint) are cache hits, and
+// the response Text is byte-identical to ctmodel -fit stdout.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req query.FitRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
+		return query.Fit(req)
 	})
 	if err != nil {
 		s.writeError(w, err)

@@ -222,6 +222,33 @@ func TestOverloadSheds429(t *testing.T) {
 	}
 }
 
+// A sub-second RetryAfter must still advertise at least 1 second:
+// "Retry-After: 0" tells clients to retry immediately, which is a
+// retry storm against a server that just shed load.
+func TestRetryAfterSubSecondClampsToOne(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 50 * time.Millisecond})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.testHookJobStart = func() {
+		started <- struct{}{}
+		<-release
+	}
+	defer close(release)
+
+	go post(s, "/v1/eval", `{"expr":"1C1"}`) // occupies the worker
+	<-started
+	go post(s, "/v1/eval", `{"expr":"1C64"}`) // occupies the queue slot
+	waitFor(t, func() bool { return s.metrics.queueDepth.Load() == 1 })
+
+	w := post(s, "/v1/eval", `{"expr":"1C2"}`) // no room: shed
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload code = %d, want 429 (body %s)", w.Code, w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q for 50ms RetryAfter, want %q", ra, "1")
+	}
+}
+
 // A request whose deadline expires while its job is stuck gets 504; the
 // job's eventual answer still warms the cache.
 func TestRequestTimeout(t *testing.T) {

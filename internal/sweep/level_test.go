@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"ctcomm/internal/query"
+)
+
+// TestSweepLevelsAxis pins the sweep integration of hierarchy levels:
+// levels expand as an eval axis, each row matches the point query bit
+// for bit, and the price/plan kinds reject the axis.
+func TestSweepLevelsAxis(t *testing.T) {
+	spec := Spec{
+		Kind:     "eval",
+		Machines: []string{"xe6"},
+		Rates:    []string{"calibrated"},
+		Ops:      []string{"1Q64"},
+		Levels:   []string{"intra-socket", "inter-node"},
+	}
+	var rows []Row
+	_, err := Execute(context.Background(), spec, Options{}, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 cells (one per level), got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Err != "" {
+			t.Fatalf("cell failed: %s", row.Err)
+		}
+		point, err := query.Eval(query.EvalRequest{
+			Machine: "xe6", Rates: "calibrated", Op: "1Q64", Level: row.Eval.Level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Eval.Text != point.Text {
+			t.Errorf("sweep cell not bit-identical to point query:\n%q\nvs\n%q", row.Eval.Text, point.Text)
+		}
+	}
+
+	for _, kind := range []string{"price", "plan"} {
+		bad := Spec{Kind: kind, Machines: []string{"t3d"}, Levels: []string{"inter-node"}}
+		if kind == "price" {
+			bad.Ops = []string{"1Q64"}
+			bad.Styles = []string{"chained"}
+		} else {
+			bad.Ns, bad.Ps = []int{64}, []int{4}
+			bad.Srcs, bad.Dsts = []string{"BLOCK"}, []string{"CYCLIC"}
+		}
+		if _, err := Execute(context.Background(), bad, Options{}, func(Row) error { return nil }); err == nil {
+			t.Errorf("%s sweep should reject the levels axis", kind)
+		}
+	}
+}

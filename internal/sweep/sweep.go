@@ -49,9 +49,12 @@ type Spec struct {
 	// Machines is the machine-profile axis (all kinds).
 	Machines []string `json:"machines,omitempty"`
 
-	// Eval axes (kind "eval").
-	Rates []string `json:"rates,omitempty"`
-	Exprs []string `json:"exprs,omitempty"`
+	// Eval axes (kind "eval"). Levels sweeps the hierarchy tier
+	// ("intra-socket", "inter-socket", "inter-node") of hierarchical
+	// machines; it needs calibrated rates, like the point query.
+	Rates  []string `json:"rates,omitempty"`
+	Exprs  []string `json:"exprs,omitempty"`
+	Levels []string `json:"levels,omitempty"`
 
 	// Ops is the operation axis (kinds "eval" and "price"). When Ops is
 	// empty, Xs x Ys cross-produce the operations xQy.
@@ -303,17 +306,19 @@ func Expand(s Spec) ([]Cell, error) {
 		}
 		for _, m := range orDefault(s.Machines) {
 			for _, rates := range orDefault(s.Rates) {
-				for _, cong := range orDefaultFloats(s.Congestions) {
-					for _, expr := range s.Exprs {
-						r := query.EvalRequest{Machine: m, Rates: rates, Expr: expr, Congestion: cong}.Canon()
-						if err := add(Cell{Eval: &r}); err != nil {
-							return nil, err
+				for _, level := range orDefault(s.Levels) {
+					for _, cong := range orDefaultFloats(s.Congestions) {
+						for _, expr := range s.Exprs {
+							r := query.EvalRequest{Machine: m, Rates: rates, Expr: expr, Congestion: cong, Level: level}.Canon()
+							if err := add(Cell{Eval: &r}); err != nil {
+								return nil, err
+							}
 						}
-					}
-					for _, op := range ops {
-						r := query.EvalRequest{Machine: m, Rates: rates, Op: op, Congestion: cong}.Canon()
-						if err := add(Cell{Eval: &r}); err != nil {
-							return nil, err
+						for _, op := range ops {
+							r := query.EvalRequest{Machine: m, Rates: rates, Op: op, Congestion: cong, Level: level}.Canon()
+							if err := add(Cell{Eval: &r}); err != nil {
+								return nil, err
+							}
 						}
 					}
 				}
@@ -322,7 +327,7 @@ func Expand(s Spec) ([]Cell, error) {
 
 	case "price":
 		if err := rejectAxes("price", map[string]int{
-			"rates": len(s.Rates), "exprs": len(s.Exprs),
+			"rates": len(s.Rates), "exprs": len(s.Exprs), "levels": len(s.Levels),
 			"ns": len(s.Ns), "ps": len(s.Ps), "srcs": len(s.Srcs),
 			"dsts": len(s.Dsts), "transposes": len(s.Transposes),
 		}); err != nil {
@@ -361,6 +366,7 @@ func Expand(s Spec) ([]Cell, error) {
 			"rates": len(s.Rates), "exprs": len(s.Exprs), "ops": len(s.Ops),
 			"xs": len(s.Xs), "ys": len(s.Ys), "styles": len(s.Styles),
 			"words": len(s.Words), "congestions": len(s.Congestions),
+			"levels": len(s.Levels),
 		}); err != nil {
 			return nil, err
 		}

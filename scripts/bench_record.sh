@@ -1,9 +1,10 @@
 #!/bin/sh
 # bench_record.sh — record the benchmark trajectory.
 #
-# Runs the sweep, memsim hot-path, and serve-stack benchmarks and
-# normalizes the `go test -bench` output into BENCH_sweep.json,
-# BENCH_hotpath.json and BENCH_serve.json:
+# Runs the sweep, memsim hot-path, serve-stack, and calibration-fit
+# benchmarks and normalizes the `go test -bench` output into
+# BENCH_sweep.json, BENCH_hotpath.json, BENCH_serve.json and
+# BENCH_fit.json:
 # one JSON object per benchmark per recording, carrying name, ns/op,
 # rows/sec (where the benchmark reports it), B/op, allocs/op, the
 # current commit and the UTC date. Entries APPEND — the files are the
@@ -88,3 +89,7 @@ echo "== serve-stack benchmarks (handler + router gateway) =="
 	"$GO" test -bench 'BenchmarkServeMixed$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/serve/
 	"$GO" test -bench 'BenchmarkRouterMixed$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/router/
 } | tee /dev/stderr | record "$BENCH_DIR/BENCH_serve.json"
+
+echo "== calibration-fit benchmark (hierarchical least-squares fit) =="
+"$GO" test -bench 'BenchmarkFit$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/calibrate/ \
+	| tee /dev/stderr | record "$BENCH_DIR/BENCH_fit.json"
