@@ -84,6 +84,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzStreamOps$$' -fuzztime 30s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 30s ./internal/memsim/
 	$(GO) test -fuzz 'FuzzSweepAnalytic$$' -fuzztime 30s ./internal/sweep/
+	$(GO) test -fuzz 'FuzzCollectiveSchedule$$' -fuzztime 30s ./internal/collective/
 
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 10s ./internal/model/
@@ -92,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzStreamOps$$' -fuzztime 10s ./internal/pattern/
 	$(GO) test -fuzz 'FuzzStreamEquivalence$$' -fuzztime 10s ./internal/memsim/
 	$(GO) test -fuzz 'FuzzSweepAnalytic$$' -fuzztime 10s ./internal/sweep/
+	$(GO) test -fuzz 'FuzzCollectiveSchedule$$' -fuzztime 10s ./internal/collective/
 
 gofmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

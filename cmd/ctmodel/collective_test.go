@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ctcomm/internal/query"
+)
+
+func TestRunCollectiveCompare(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-machine", "t3d", "-collective", "all-to-all"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
+	}
+	s := out.String()
+	for _, want := range []string{"pairwise", "doubling", "hyper-systolic", "winner:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunCollectiveMatchesQuery: CLI stdout is the query core's Text
+// verbatim — the same bytes /v1/collective serves.
+func TestRunCollectiveMatchesQuery(t *testing.T) {
+	cases := [][]string{
+		{"-machine", "t3d", "-collective", "all-to-all", "-words", "1024"},
+		{"-machine", "cluster", "-collective", "shift", "-offset", "5", "-strategy", "hyper-systolic", "-level", "inter-socket"},
+		{"-machine", "xe6", "-collective", "broadcast", "-level", "intra-socket"},
+		{"-machine", "paragon", "-collective", "reduce", "-nodes", "16", "-strategy", "doubling"},
+	}
+	reqs := []query.CollectiveRequest{
+		{Machine: "t3d", Collective: "all-to-all", Words: 1024},
+		{Machine: "cluster", Collective: "shift", Offset: 5, Strategy: "hyper-systolic", Level: "inter-socket"},
+		{Machine: "xe6", Collective: "broadcast", Level: "intra-socket"},
+		{Machine: "paragon", Collective: "reduce", Nodes: 16, Strategy: "doubling"},
+	}
+	for i, args := range cases {
+		var out strings.Builder
+		code, err := run(args, &out)
+		if err != nil || code != 0 {
+			t.Fatalf("run(%v): code %d, err %v", args, code, err)
+		}
+		want, err := query.Collective(reqs[i])
+		if err != nil {
+			t.Fatalf("%+v: %v", reqs[i], err)
+		}
+		if out.String() != want.Text {
+			t.Errorf("run(%v) stdout != query text:\n--- cli\n%s\n--- query\n%s", args, out.String(), want.Text)
+		}
+	}
+}
+
+// TestRunCollectiveErrors pins the exit-code contract for malformed
+// collective specs: always 2 (usage error), never 1 or a panic.
+func TestRunCollectiveErrors(t *testing.T) {
+	cases := [][]string{
+		{"-collective", "gather"},
+		{"-collective", "all-to-all", "-strategy", "butterfly"},
+		{"-collective", "all-to-all", "-words", "-4"},
+		{"-collective", "broadcast", "-nodes", "1"},
+		{"-collective", "broadcast", "-nodes", "12", "-strategy", "doubling"},
+		{"-collective", "all-to-all", "-nodes", "13", "-strategy", "hyper-systolic"},
+		{"-collective", "shift", "-offset", "64", "-machine", "t3d"},
+		{"-machine", "paragon", "-collective", "reduce", "-level", "intra-socket"},
+		{"-machine", "cm5", "-collective", "reduce"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		code, err := run(args, &out)
+		if err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+		if code != 2 {
+			t.Errorf("run(%v) exit code = %d, want 2 (%v)", args, code, err)
+		}
+	}
+}

@@ -10,6 +10,8 @@
 //	ctmodel -sweep spec.json -format csv
 //	ctmodel -machine cluster -rates calibrated -op 1Q64 -level intra-socket
 //	ctmodel -machine xe6 -fit measured.csv -fit-out fitted.json
+//	ctmodel -machine t3d -collective all-to-all -words 1024
+//	ctmodel -machine cluster -collective shift -offset 5 -strategy hyper-systolic -level inter-socket
 //
 // With -op xQy both the buffer-packing and chained estimates of the
 // communication operation are printed; with -expr a single expression
@@ -29,6 +31,14 @@
 // stdin), it least-squares fits startup and bandwidth constants per
 // tier onto the -machine base profile, prints a per-point error report,
 // and with -fit-out writes the fitted profile as loadable machine JSON.
+//
+// -collective plans a collective operation (all-to-all, broadcast,
+// shift, reduce) as phase schedules of copy-transfer primitives and
+// evaluates planner strategies on the -machine: -strategy picks one
+// (pairwise, doubling, hyper-systolic), empty compares all three and
+// reports the winner; -nodes bounds the participants, -words sets the
+// block size, -offset the shift distance, and -level restricts the
+// collective to one hierarchy tier.
 //
 // The evaluation itself lives in internal/query, which the ctserved
 // HTTP service shares: a served /v1/eval answer is byte-identical to
@@ -71,21 +81,26 @@ func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ctmodel", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		machineFlag = fs.String("machine", "t3d", "machine profile: t3d, paragon, cluster or xe6")
-		machineFile = fs.String("machine-file", "", "JSON machine definition (overrides -machine)")
-		ratesFlag   = fs.String("rates", "paper", "rate table: paper or calibrated")
-		exprFlag    = fs.String("expr", "", "copy-transfer expression to evaluate")
-		opFlag      = fs.String("op", "", "communication operation xQy, e.g. 1Q64 or wQw")
-		congFlag    = fs.Float64("congestion", 0, "network congestion factor (0 = machine default)")
-		levelFlag   = fs.String("level", "", "hierarchy level for calibrated rates: intra-socket, inter-socket or inter-node")
-		listFlag    = fs.Bool("list", false, "print the rate table and exit")
-		fitFlag     = fs.String("fit", "", `measured (size_bytes, rate_MBps) rows to fit, JSON or CSV ("-" for stdin)`)
-		fitOutFlag  = fs.String("fit-out", "", "write the fitted machine profile JSON to this file")
-		nameFlag    = fs.String("name", "", "name for the fitted profile (default: keep the base machine's name)")
-		sweepFlag   = fs.String("sweep", "", `JSON sweep spec file ("-" for stdin)`)
-		formatFlag  = fs.String("format", "text", "sweep output format: text, csv or markdown")
-		jFlag       = fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		engineFlag  = fs.Bool("sweep-engine", false,
+		machineFlag  = fs.String("machine", "t3d", "machine profile: t3d, paragon, cluster or xe6")
+		machineFile  = fs.String("machine-file", "", "JSON machine definition (overrides -machine)")
+		ratesFlag    = fs.String("rates", "paper", "rate table: paper or calibrated")
+		exprFlag     = fs.String("expr", "", "copy-transfer expression to evaluate")
+		opFlag       = fs.String("op", "", "communication operation xQy, e.g. 1Q64 or wQw")
+		congFlag     = fs.Float64("congestion", 0, "network congestion factor (0 = machine default)")
+		levelFlag    = fs.String("level", "", "hierarchy level for calibrated rates: intra-socket, inter-socket or inter-node")
+		listFlag     = fs.Bool("list", false, "print the rate table and exit")
+		fitFlag      = fs.String("fit", "", `measured (size_bytes, rate_MBps) rows to fit, JSON or CSV ("-" for stdin)`)
+		fitOutFlag   = fs.String("fit-out", "", "write the fitted machine profile JSON to this file")
+		nameFlag     = fs.String("name", "", "name for the fitted profile (default: keep the base machine's name)")
+		collFlag     = fs.String("collective", "", "collective operation to plan: all-to-all, broadcast, shift or reduce")
+		strategyFlag = fs.String("strategy", "", "planner strategy: pairwise, doubling or hyper-systolic (empty = compare all)")
+		nodesFlag    = fs.Int("nodes", 0, "collective participants (0 = whole machine or -level domain)")
+		wordsFlag    = fs.Int("words", 0, "collective block size in 64-bit words (0 = 256)")
+		offsetFlag   = fs.Int("offset", 0, "shift distance for -collective shift (0 = 1)")
+		sweepFlag    = fs.String("sweep", "", `JSON sweep spec file ("-" for stdin)`)
+		formatFlag   = fs.String("format", "text", "sweep output format: text, csv or markdown")
+		jFlag        = fs.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		engineFlag   = fs.Bool("sweep-engine", false,
 			"evaluate every sweep cell as an independent engine run (disables the shared batch context; same output, slower)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -110,6 +125,19 @@ func run(args []string, out io.Writer) (int, error) {
 
 	if *fitFlag != "" {
 		return runFit(*fitFlag, *machineFlag, *nameFlag, *fitOutFlag, loaded, out)
+	}
+
+	if *collFlag != "" {
+		return runCollective(query.CollectiveRequest{
+			Machine:    *machineFlag,
+			Collective: *collFlag,
+			Strategy:   *strategyFlag,
+			Nodes:      *nodesFlag,
+			Words:      *wordsFlag,
+			Offset:     *offsetFlag,
+			Level:      *levelFlag,
+			M:          loaded,
+		}, out)
 	}
 
 	req := query.EvalRequest{
@@ -175,6 +203,23 @@ func runFit(rowsPath, base, name, outPath string, loaded *machine.Machine, out i
 			return 1, err
 		}
 		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return 0, nil
+}
+
+// runCollective executes a -collective invocation through
+// internal/query, so stdout is byte-identical to a served
+// /v1/collective answer's Text.
+func runCollective(req query.CollectiveRequest, out io.Writer) (int, error) {
+	resp, err := query.Collective(req)
+	if err != nil {
+		if errors.Is(err, query.ErrBadRequest) {
+			return 2, err
+		}
+		return 1, err
+	}
+	if _, err := io.WriteString(out, resp.Text); err != nil {
+		return 1, err
 	}
 	return 0, nil
 }

@@ -189,6 +189,22 @@ func Plan(q PlanQuery) (PlanAnswer, error) { return query.Plan(q) }
 // Price answers a PriceQuery.
 func Price(q PriceQuery) (PriceAnswer, error) { return query.Price(q) }
 
+// CollectiveQuery plans a collective operation (all-to-all, broadcast,
+// shift, reduce) as phase schedules of copy-transfer primitives and
+// evaluates planner strategies on a named machine (ctmodel -collective
+// / POST /v1/collective). An empty Strategy compares every strategy
+// and reports the winner.
+type CollectiveQuery = query.CollectiveRequest
+
+// CollectiveAnswer is the structured + rendered result of a
+// CollectiveQuery: one report per strategy (phase count, message and
+// block volume, congestion, replica storage, makespan) plus the
+// winner and the exact comparator text the CLI prints.
+type CollectiveAnswer = query.CollectiveResponse
+
+// Collective answers a CollectiveQuery.
+func Collective(q CollectiveQuery) (CollectiveAnswer, error) { return query.Collective(q) }
+
 // FitQuery least-squares fits machine-profile constants from measured
 // (size_bytes, rate_MBps) rows, per hierarchy level, against a named
 // base profile (ctmodel -fit / POST /v1/fit).

@@ -259,3 +259,21 @@ func TestFacadeSweep(t *testing.T) {
 		t.Errorf("partial failure: rows=%d stats=%+v err=%v", len(rows), stats, err)
 	}
 }
+
+func TestFacadeCollective(t *testing.T) {
+	ans, err := ctcomm.Collective(ctcomm.CollectiveQuery{Machine: "t3d", Collective: "all-to-all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Strategies) != 3 || ans.Winner == "" || ans.Text == "" {
+		t.Errorf("collective answer = %+v", ans)
+	}
+	for _, s := range ans.Strategies {
+		if s.Err == "" && s.MakespanUs <= 0 {
+			t.Errorf("strategy %s makespan = %v", s.Strategy, s.MakespanUs)
+		}
+	}
+	if _, err := ctcomm.Collective(ctcomm.CollectiveQuery{Collective: "gather"}); err == nil {
+		t.Error("unknown collective should fail")
+	}
+}

@@ -24,9 +24,40 @@ type Pair struct {
 // Schedule is an ordered sequence of phases; within a phase every node
 // sends at most one message and receives at most one message, so the
 // phases can run back to back with a barrier between them.
+//
+// Schedule is the shared phase-schedule substrate: the AAPC schedules
+// here and every collective planner in internal/collective build the
+// same type, so congestion checking and makespan simulation live in
+// one place.
 type Schedule struct {
 	Nodes  int
 	Phases [][]Pair
+	// Blocks, when non-nil, is the per-phase payload multiplier: every
+	// message of phase p carries Blocks[p] base-size blocks (collective
+	// planners aggregate blocks per message, e.g. recursive doubling
+	// ships n/2 blocks per exchange). Nil means one block per message in
+	// every phase — the classic AAPC case.
+	Blocks []int64
+}
+
+// BlocksAt returns the payload multiplier of phase p (1 when Blocks is
+// nil or unset for the phase).
+func (s *Schedule) BlocksAt(p int) int64 {
+	if p < 0 || p >= len(s.Blocks) || s.Blocks[p] <= 0 {
+		return 1
+	}
+	return s.Blocks[p]
+}
+
+// PhaseFlows expands phase p into netsim flows, with the phase's block
+// multiplier applied to bytesPerBlock.
+func (s *Schedule) PhaseFlows(p int, bytesPerBlock int64) []netsim.Flow {
+	bytes := bytesPerBlock * s.BlocksAt(p)
+	flows := make([]netsim.Flow, 0, len(s.Phases[p]))
+	for _, pr := range s.Phases[p] {
+		flows = append(flows, netsim.Flow{Src: pr.Src, Dst: pr.Dst, Bytes: bytes})
+	}
+	return flows
 }
 
 // Shift returns the cyclic-shift (rotation) schedule: in phase k every
@@ -65,12 +96,11 @@ func XOR(nodes int) (*Schedule, error) {
 	return s, nil
 }
 
-// Validate checks that the schedule is a correct complete exchange:
-// every ordered pair (i, j), i != j, appears exactly once across all
-// phases, and within each phase every node sends at most once and
-// receives at most once.
-func (s *Schedule) Validate() error {
-	seen := make(map[Pair]bool)
+// CheckPhases checks the structural invariant every phase schedule
+// must satisfy regardless of what collective it implements: no self
+// exchange, all node indices in range, and within each phase every
+// node sends at most once and receives at most once.
+func (s *Schedule) CheckPhases() error {
 	for pi, phase := range s.Phases {
 		sends := make(map[int]bool)
 		recvs := make(map[int]bool)
@@ -89,6 +119,21 @@ func (s *Schedule) Validate() error {
 			}
 			sends[p.Src] = true
 			recvs[p.Dst] = true
+		}
+	}
+	return nil
+}
+
+// Validate checks that the schedule is a correct complete exchange:
+// the phase invariant of CheckPhases holds, and every ordered pair
+// (i, j), i != j, appears exactly once across all phases.
+func (s *Schedule) Validate() error {
+	if err := s.CheckPhases(); err != nil {
+		return err
+	}
+	seen := make(map[Pair]bool)
+	for _, phase := range s.Phases {
+		for _, p := range phase {
 			if seen[p] {
 				return fmt.Errorf("aapc: pair %v scheduled twice", p)
 			}
@@ -106,12 +151,8 @@ func (s *Schedule) Validate() error {
 // topology (including shared-port effects).
 func (s *Schedule) PhaseCongestion(topo netsim.Topology, nodesPerPort int) []float64 {
 	out := make([]float64, len(s.Phases))
-	for i, phase := range s.Phases {
-		flows := make([]netsim.Flow, 0, len(phase))
-		for _, p := range phase {
-			flows = append(flows, netsim.Flow{Src: p.Src, Dst: p.Dst, Bytes: 1})
-		}
-		out[i] = netsim.CongestionOf(topo, flows, nodesPerPort)
+	for i := range s.Phases {
+		out[i] = netsim.CongestionOf(topo, s.PhaseFlows(i, 1), nodesPerPort)
 	}
 	return out
 }
@@ -130,15 +171,11 @@ func (s *Schedule) MaxCongestion(topo netsim.Topology, nodesPerPort int) float64
 // Makespan simulates the schedule on the event-level network: phases
 // run one after another (separated by barrierNs), and within a phase
 // all exchanges proceed concurrently. bytesPerPair is the personalized
-// block size.
+// block size (scaled per phase by the Blocks multiplier, if set).
 func (s *Schedule) Makespan(net *netsim.Network, bytesPerPair int64, mode netsim.Mode, barrierNs float64) sim.Time {
 	var t sim.Time
-	for _, phase := range s.Phases {
-		flows := make([]netsim.Flow, 0, len(phase))
-		for _, p := range phase {
-			flows = append(flows, netsim.Flow{Src: p.Src, Dst: p.Dst, Bytes: bytesPerPair})
-		}
-		_, end := net.Batch(t, flows, mode)
+	for pi := range s.Phases {
+		_, end := net.Batch(t, s.PhaseFlows(pi, bytesPerPair), mode)
 		t = end + sim.Time(barrierNs)
 	}
 	return t
@@ -157,12 +194,8 @@ func UnscheduledMakespan(net *netsim.Network, nodes int, bytesPerPair int64, mod
 // bounded congestion.
 func (s *Schedule) MakespanCircuit(net *netsim.Network, bytesPerPair int64, mode netsim.Mode, barrierNs float64) sim.Time {
 	var t sim.Time
-	for _, phase := range s.Phases {
-		flows := make([]netsim.Flow, 0, len(phase))
-		for _, p := range phase {
-			flows = append(flows, netsim.Flow{Src: p.Src, Dst: p.Dst, Bytes: bytesPerPair})
-		}
-		_, end := net.BatchCircuit(t, flows, mode)
+	for pi := range s.Phases {
+		_, end := net.BatchCircuit(t, s.PhaseFlows(pi, bytesPerPair), mode)
 		t = end + sim.Time(barrierNs)
 	}
 	return t

@@ -1,0 +1,102 @@
+package collective
+
+import (
+	"fmt"
+
+	"ctcomm/internal/machine"
+	"ctcomm/internal/netsim"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/sim"
+	"ctcomm/internal/syncsim"
+)
+
+// Eval is the comparator's per-strategy scorecard.
+type Eval struct {
+	// Phases is the number of synchronized phases in the schedule.
+	Phases int
+	// Messages is the total message count across all phases.
+	Messages int64
+	// VolumeBlocks is the total number of blocks moved (messages
+	// weighted by their per-phase block multiplier).
+	VolumeBlocks int64
+	// MaxCongestion is the worst phase congestion factor on the
+	// machine's topology (including shared-port effects).
+	MaxCongestion float64
+	// ReplicaBlocks / ReplicaBytes surface the staging storage the
+	// strategy needs per node beyond its own payload.
+	ReplicaBlocks int64
+	ReplicaBytes  int64
+	// MakespanNs is the end-to-end completion time: phases run back
+	// to back, separated by the machine's best barrier plus library
+	// call overhead.
+	MakespanNs float64
+	// AnalyticPhases counts phases answered by the closed-form stream
+	// law; EnginePhases counts phases that ran the event engine. The
+	// split is provenance only — both paths are bit-identical (see
+	// the differential test).
+	AnalyticPhases int
+	EnginePhases   int
+}
+
+// Evaluate times the plan on machine m with blocks of `words` 64-bit
+// words. Phases are separated by the machine's cheapest barrier
+// (syncsim.Best) plus its library-call overhead, so strategies with
+// fewer phases amortize synchronization — the source of the
+// crossover between phase-light and volume-light schedules.
+//
+// Resource-disjoint phases (congestion factor 1: no two flows share a
+// link or port) are answered analytically with SendStream's closed
+// form, which performs resource accounting identical to the event
+// engine; congested phases, and every phase when engine is true, run
+// the full netsim event engine. The two paths are bit-identical by
+// construction and pinned by TestEvaluateAnalyticMatchesEngine.
+func (p *Plan) Evaluate(m *machine.Machine, words int, engine bool) (Eval, error) {
+	if words <= 0 {
+		return Eval{}, badf("words per block must be positive, got %d", words)
+	}
+	if p.Nodes > m.Nodes() {
+		return Eval{}, badf("%s over %d nodes exceeds %s's %d nodes", p.Op, p.Nodes, m.Name, m.Nodes())
+	}
+	barrier, _, err := syncsim.Best(m, p.Nodes)
+	if err != nil {
+		return Eval{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	overhead := sim.Time(barrier + m.LibOverheadNs)
+	net := netsim.MustNewNetwork(m.Topo, m.Net)
+	bytesPerBlock := int64(words) * pattern.WordBytes
+
+	ev := Eval{
+		Phases:        len(p.Schedule.Phases),
+		ReplicaBlocks: p.ReplicaBlocks,
+		ReplicaBytes:  p.ReplicaBlocks * bytesPerBlock,
+	}
+	var t sim.Time
+	for pi := range p.Schedule.Phases {
+		flows := p.Schedule.PhaseFlows(pi, bytesPerBlock)
+		ev.Messages += int64(len(flows))
+		ev.VolumeBlocks += int64(len(flows)) * p.Schedule.BlocksAt(pi)
+		cong := netsim.CongestionOf(m.Topo, flows, m.Net.NodesPerPort)
+		if cong > ev.MaxCongestion {
+			ev.MaxCongestion = cong
+		}
+		var end sim.Time
+		if !engine && cong == 1 {
+			// No two flows of this phase share any link or port, so
+			// streaming them one at a time through the closed form
+			// claims exactly what one Batch over all of them would.
+			end = t
+			for _, f := range flows {
+				if e := net.SendStream(t, f.Src, f.Dst, f.Bytes, netsim.DataOnly); e > end {
+					end = e
+				}
+			}
+			ev.AnalyticPhases++
+		} else {
+			_, end = net.Batch(t, flows, netsim.DataOnly)
+			ev.EnginePhases++
+		}
+		t = end + overhead
+	}
+	ev.MakespanNs = float64(t)
+	return ev, nil
+}

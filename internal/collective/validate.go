@@ -1,0 +1,113 @@
+package collective
+
+import "fmt"
+
+// bitset is a fixed-width bit vector over node indices.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+func (b bitset) clone() bitset { c := make(bitset, len(b)); copy(c, b); return c }
+func (b bitset) full(n int) bool {
+	for i := 0; i < n; i++ {
+		if !b.has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the plan's schedule is structurally sound
+// (aapc.Schedule.CheckPhases: in-range pairs, no self exchange, at
+// most one send and one receive per node per phase) and that it
+// actually implements the collective. Correctness is checked by
+// influence propagation: reach[i] is the set of nodes whose data can
+// have arrived at node i; each phase unions every sender's pre-phase
+// set into its receiver. This inherently rejects schedules where a
+// node forwards data it cannot yet hold (e.g. a broadcast relay
+// sending before it received).
+//
+// Per operation the final sets must satisfy:
+//
+//	all-to-all: every node reaches every node (direct pairwise
+//	            schedules additionally pass the exact complete-
+//	            exchange check of aapc.Schedule.Validate)
+//	broadcast:  every node holds the root's data
+//	shift:      node (i+offset) mod n holds node i's data, for all i
+//	reduce:     the root holds every node's data
+func (p *Plan) Validate() error {
+	s := p.Schedule
+	if s == nil {
+		return badf("%s/%s plan has no schedule", p.Op, p.Strategy)
+	}
+	if s.Nodes != p.Nodes {
+		return badf("%s/%s schedule is over %d nodes, plan says %d", p.Op, p.Strategy, s.Nodes, p.Nodes)
+	}
+	if err := s.CheckPhases(); err != nil {
+		return fmt.Errorf("%w: %s/%s: %v", ErrBadSpec, p.Op, p.Strategy, err)
+	}
+
+	n := p.Nodes
+	reach := make([]bitset, n)
+	for i := range reach {
+		reach[i] = newBitset(n)
+		reach[i].set(i)
+	}
+	for _, phase := range s.Phases {
+		// Within a phase each node receives at most once, but may both
+		// send and receive; snapshot sender sets before merging so the
+		// phase is simultaneous.
+		type delivery struct {
+			dst int
+			src bitset
+		}
+		incoming := make([]delivery, 0, len(phase))
+		for _, pr := range phase {
+			incoming = append(incoming, delivery{pr.Dst, reach[pr.Src].clone()})
+		}
+		for _, d := range incoming {
+			reach[d.dst].union(d.src)
+		}
+	}
+
+	switch p.Op {
+	case AllToAll:
+		for i := 0; i < n; i++ {
+			if !reach[i].full(n) {
+				return badf("%s/%s: node %d does not receive from every node", p.Op, p.Strategy, i)
+			}
+		}
+		if s.Blocks == nil {
+			// A direct schedule claims one message per ordered pair;
+			// hold it to the exact complete-exchange contract.
+			if err := s.Validate(); err != nil {
+				return fmt.Errorf("%w: %s/%s: %v", ErrBadSpec, p.Op, p.Strategy, err)
+			}
+		}
+	case Broadcast:
+		for i := 0; i < n; i++ {
+			if !reach[i].has(0) {
+				return badf("%s/%s: node %d never receives the root's data", p.Op, p.Strategy, i)
+			}
+		}
+	case Shift:
+		for i := 0; i < n; i++ {
+			if !reach[(i+p.Offset)%n].has(i) {
+				return badf("%s/%s: node %d's data never reaches node %d", p.Op, p.Strategy, i, (i+p.Offset)%n)
+			}
+		}
+	case Reduce:
+		if !reach[0].full(n) {
+			return badf("%s/%s: the root does not receive every contribution", p.Op, p.Strategy)
+		}
+	default:
+		return badf("unknown collective %q (valid: all-to-all, broadcast, shift, reduce)", string(p.Op))
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ctcomm/internal/query"
+	"ctcomm/internal/serve"
+)
+
+// TestFleetGoldenCollective pins the collective-comparator contract
+// end to end at fleet scale: /v1/collective routed through a
+// 4-replica fleet is byte-identical to a single ctserved's answer and
+// to the query core's (which cmd/ctmodel -collective prints
+// verbatim), for every collective — comparisons and single-strategy
+// requests, flat and hierarchical machines, level-restricted domains.
+func TestFleetGoldenCollective(t *testing.T) {
+	f := newFleet(t, 4, serve.Config{Workers: 2})
+	rt := newRouter(t, Config{Replicas: f.urls, ProbeInterval: -1})
+	single := serve.New(serve.Config{Workers: 2})
+	defer single.Close()
+
+	reqs := []query.CollectiveRequest{
+		{Machine: "t3d", Collective: "all-to-all"},
+		{Machine: "t3d", Collective: "broadcast", Words: 1024},
+		{Machine: "paragon", Collective: "shift", Offset: 7},
+		{Machine: "paragon", Collective: "reduce", Strategy: "doubling"},
+		{Machine: "cluster", Collective: "all-to-all", Level: "inter-socket"},
+		{Machine: "cluster", Collective: "broadcast", Level: "intra-socket", Strategy: "hyper-systolic", Nodes: 4},
+		{Machine: "xe6", Collective: "reduce", Level: "inter-node", Words: 64},
+		{Machine: "xe6", Collective: "shift", Strategy: "pairwise", Offset: 13},
+	}
+	for _, req := range reqs {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw := post(rt.Handler(), "/v1/collective", string(body))
+		sw := post(single.Handler(), "/v1/collective", string(body))
+		if rw.Code != http.StatusOK || sw.Code != http.StatusOK {
+			t.Fatalf("%+v: router %d, single %d: %s", req, rw.Code, sw.Code, rw.Body)
+		}
+		if rw.Body.String() != sw.Body.String() {
+			t.Errorf("%+v: routed /v1/collective not byte-identical to single ctserved:\n--- router\n%s\n--- single\n%s",
+				req, rw.Body, sw.Body)
+		}
+
+		var resp query.CollectiveResponse
+		if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, err := query.Collective(req)
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if resp.Text != want.Text {
+			t.Errorf("%+v: routed text != query core text (= ctmodel -collective stdout):\n--- routed\n%s\n--- core\n%s",
+				req, resp.Text, want.Text)
+		}
+
+		// Determinism across the fleet: re-posting the same request (now
+		// a cache hit on its home replica) returns the identical body.
+		if again := post(rt.Handler(), "/v1/collective", string(body)); again.Body.String() != rw.Body.String() {
+			t.Errorf("%+v: repeated routed collective not byte-identical", req)
+		}
+	}
+
+	// Error paths route too: a bad strategy is a 400 with the
+	// valid-name listing, identical through the fleet and the single
+	// server.
+	bad := `{"collective":"all-to-all","strategy":"butterfly"}`
+	rw := post(rt.Handler(), "/v1/collective", bad)
+	sw := post(single.Handler(), "/v1/collective", bad)
+	if rw.Code != http.StatusBadRequest || sw.Code != http.StatusBadRequest {
+		t.Fatalf("bad strategy: router %d, single %d", rw.Code, sw.Code)
+	}
+	if rw.Body.String() != sw.Body.String() {
+		t.Errorf("bad-strategy error not byte-identical:\n--- router\n%s\n--- single\n%s", rw.Body, sw.Body)
+	}
+}

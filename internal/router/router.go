@@ -210,6 +210,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("/v1/price", rt.handlePoint("price", func() fingerprinter { return &query.PriceRequest{} }))
 	rt.mux.HandleFunc("/v1/plan", rt.handlePoint("plan", func() fingerprinter { return &query.PlanRequest{} }))
 	rt.mux.HandleFunc("/v1/fit", rt.handlePoint("fit", func() fingerprinter { return &query.FitRequest{} }))
+	rt.mux.HandleFunc("/v1/collective", rt.handlePoint("collective", func() fingerprinter { return &query.CollectiveRequest{} }))
 	rt.mux.HandleFunc("/v1/sweep", rt.handleSweep)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/v1/stats", rt.handleStats)

@@ -104,7 +104,8 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// have streamed for an unanswerable cell.
 			c := cells[g]
 			row = sweep.Row{EvalReq: c.Eval, PriceReq: c.Price, PlanReq: c.Plan,
-				Err: fmt.Sprintf("router: shard unreachable: %v", err)}
+				CollectiveReq: c.Collective,
+				Err:           fmt.Sprintf("router: shard unreachable: %v", err)}
 		}
 		row.Index = g // local shard position -> global cell order
 		switch {

@@ -27,6 +27,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/price", s.instrument("price", s.handlePrice))
 	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/fit", s.instrument("fit", s.handleFit))
+	s.mux.HandleFunc("/v1/collective", s.instrument("collective", s.handleCollective))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/cells", s.instrument("cells", s.handleCells))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
@@ -188,6 +189,30 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	}
 	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
 		return query.Fit(req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+// handleCollective answers POST /v1/collective: plan a collective
+// operation as phase schedules and evaluate one or all planner
+// strategies on a machine. Like every point endpoint it runs through
+// s.do, so repeated comparisons are cache hits, and the response Text
+// is byte-identical to ctmodel -collective stdout.
+func (s *Server) handleCollective(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req query.CollectiveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	val, _, err := s.do(r.Context(), req.Fingerprint(), func() (interface{}, error) {
+		return query.Collective(req)
 	})
 	if err != nil {
 		s.writeError(w, err)

@@ -185,7 +185,7 @@ func Open(cfg Config) (*Server, error) {
 		queue:   make(chan job, cfg.QueueDepth),
 		cache:   newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
 		flight:  map[string]*call{},
-		metrics: newMetrics([]string{"eval", "price", "plan", "fit", "sweep", "cells", "healthz", "metrics", "stats"}),
+		metrics: newMetrics([]string{"eval", "price", "plan", "fit", "collective", "sweep", "cells", "healthz", "metrics", "stats"}),
 	}
 	if cfg.PersistDir != "" {
 		st, err := persist.Open(cfg.PersistDir, persist.Options{

@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctcomm/internal/query"
+)
+
+func TestExpandCollective(t *testing.T) {
+	spec := Spec{
+		Kind:        "collective",
+		Machines:    []string{"t3d", "cluster"},
+		Collectives: []string{"all-to-all", "broadcast"},
+		Strategies:  []string{"pairwise", "doubling"},
+		NodeCounts:  []int{8, 16},
+		Words:       []int{64},
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*2*2 {
+		t.Fatalf("got %d cells, want 16", len(cells))
+	}
+	b, _ := Expand(spec)
+	if !reflect.DeepEqual(cells, b) {
+		t.Error("Expand is not deterministic")
+	}
+	for i, c := range cells {
+		if c.Index != i || c.Collective == nil {
+			t.Fatalf("cell %d = %+v", i, c)
+		}
+	}
+	if cells[0].Collective.Machine != "t3d" || cells[8].Collective.Machine != "cluster" {
+		t.Errorf("machines not outermost: %q then %q",
+			cells[0].Collective.Machine, cells[8].Collective.Machine)
+	}
+
+	// Defaults: no strategies axis = one compare cell per grid point,
+	// canonical like the point query (so fingerprints, and therefore
+	// served cache keys, match).
+	cells, err = Expand(Spec{Kind: "collective", Collectives: []string{"shift"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	want := query.CollectiveRequest{Collective: "shift"}.Canon()
+	if cells[0].Fingerprint() != want.Fingerprint() {
+		t.Errorf("fingerprint %q != point query %q", cells[0].Fingerprint(), want.Fingerprint())
+	}
+}
+
+// The collective axes and the eval/price/plan axes are mutually
+// exclusive, in both directions.
+func TestExpandCollectiveRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		frag string
+	}{
+		{"collective with ops",
+			Spec{Kind: "collective", Collectives: []string{"shift"}, Ops: []string{"1Q64"}},
+			"does not apply"},
+		{"collective with styles",
+			Spec{Kind: "collective", Collectives: []string{"shift"}, Styles: []string{"pvm"}},
+			"does not apply"},
+		{"collective with ns",
+			Spec{Kind: "collective", Collectives: []string{"shift"}, Ns: []int{64}},
+			"does not apply"},
+		{"eval with collectives",
+			Spec{Kind: "eval", Ops: []string{"1Q64"}, Collectives: []string{"shift"}},
+			"does not apply"},
+		{"price with strategies",
+			Spec{Kind: "price", Ops: []string{"1Q64"}, Strategies: []string{"pairwise"}},
+			"does not apply"},
+		{"plan with node_counts",
+			Spec{Kind: "plan", Ns: []int{64}, NodeCounts: []int{8}},
+			"does not apply"},
+		{"empty collective", Spec{Kind: "collective"}, "needs at least one"},
+	}
+	for _, c := range cases {
+		_, err := Expand(c.spec)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !errors.Is(err, query.ErrBadRequest) {
+			t.Errorf("%s: error %v does not wrap ErrBadRequest", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+// Per-cell byte identity with the point query, across compare and
+// single-strategy cells, flat and level-restricted machines.
+func TestRunCollectiveMatchesPointQueries(t *testing.T) {
+	spec := Spec{
+		Kind:        "collective",
+		Machines:    []string{"t3d", "cluster"},
+		Collectives: []string{"all-to-all", "reduce"},
+		NodeCounts:  []int{8},
+		Words:       []int{64},
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	st, err := Run(context.Background(), cells, Options{Workers: 2}, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != len(cells) || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, r := range rows {
+		if r.CollectiveReq == nil || r.Collective == nil {
+			t.Fatalf("row %d incomplete: %+v", r.Index, r)
+		}
+		want, err := query.Collective(*r.CollectiveReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*r.Collective, want) {
+			t.Errorf("cell %d differs from point query:\nsweep %+v\npoint %+v", r.Index, *r.Collective, want)
+		}
+		if r.Collective.Text != want.Text {
+			t.Errorf("cell %d text not byte-identical", r.Index)
+		}
+	}
+}
+
+// A bad collective cell yields an error row with the request echo; the
+// rest of the sweep still answers.
+func TestRunCollectivePartialFailure(t *testing.T) {
+	cells, err := Expand(Spec{
+		Kind:        "collective",
+		Machines:    []string{"t3d"},
+		Collectives: []string{"broadcast"},
+		Strategies:  []string{"pairwise", "butterfly"},
+		NodeCounts:  []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	st, err := Run(context.Background(), cells, Options{}, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 2 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want 2 cells with 1 failed", st)
+	}
+	for _, r := range rows {
+		if r.CollectiveReq != nil && r.CollectiveReq.Strategy == "butterfly" {
+			if r.Err == "" || !strings.Contains(r.Err, "valid: pairwise, doubling, hyper-systolic") {
+				t.Errorf("bad-strategy row = %+v", r)
+			}
+			if r.Collective != nil {
+				t.Errorf("error row carries a result: %+v", r)
+			}
+		} else if r.Err != "" || r.Collective == nil {
+			t.Errorf("good row incomplete: %+v", r)
+		}
+	}
+}
+
+func TestTableCollective(t *testing.T) {
+	spec := Spec{
+		Kind:        "collective",
+		Machines:    []string{"t3d"},
+		Collectives: []string{"all-to-all"},
+		NodeCounts:  []int{8},
+		Words:       []int{64},
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	st, err := Run(context.Background(), cells, Options{}, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Table(spec, rows, st)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"machine", "collective", "winner", "all-to-all", "compare"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, rows[0].Collective.Winner) {
+		t.Errorf("table missing winner %q:\n%s", rows[0].Collective.Winner, out)
+	}
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCollectiveCrossoverSweep runs the checked-in crossover spec
+// (docs/sweeps/collective_crossover.json) and pins the paper-style
+// schedule-crossover result: for the all-to-all on every machine, the
+// winning strategy flips as the message size grows — a low-phase-count
+// schedule (doubling or hyper-systolic) wins small blocks where
+// per-phase synchronization dominates, and the congestion-free
+// pairwise shift wins large blocks where wire time dominates.
+func TestCollectiveCrossoverSweep(t *testing.T) {
+	data, err := os.ReadFile("../../docs/sweeps/collective_crossover.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		// A trimmed axis that still crosses over on every machine,
+		// without the large-block event-engine time.
+		spec.Words = []int{4, 64, 1024}
+	}
+	cells, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// winners[machine] = winning strategy per words axis point, in order.
+	winners := map[string][]string{}
+	order := []string{}
+	st, err := Run(context.Background(), cells, Options{Workers: 4}, func(r Row) error {
+		if r.Err != "" {
+			t.Errorf("cell %d failed: %s", r.Index, r.Err)
+			return nil
+		}
+		m := r.CollectiveReq.Machine
+		if _, ok := winners[m]; !ok {
+			order = append(order, m)
+		}
+		winners[m] = append(winners[m], r.Collective.Winner)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(order) != 3 {
+		t.Fatalf("machines covered = %v, want 3", order)
+	}
+	for _, m := range order {
+		w := winners[m]
+		if len(w) != len(spec.Words) {
+			t.Fatalf("%s: %d winners for %d words points", m, len(w), len(spec.Words))
+		}
+		if w[0] == w[len(w)-1] {
+			t.Errorf("%s: no crossover — winner %q at both words=%d and words=%d (curve: %v)",
+				m, w[0], spec.Words[0], spec.Words[len(spec.Words)-1], w)
+		}
+		if w[0] != "doubling" {
+			t.Errorf("%s: small-block winner = %q, want doubling (fewest phases)", m, w[0])
+		}
+		if w[len(w)-1] != "pairwise" {
+			t.Errorf("%s: large-block winner = %q, want pairwise (congestion-free)", m, w[len(w)-1])
+		}
+		// The winner sequence is monotone in phase count: once a
+		// higher-volume, lower-phase strategy loses the lead it never
+		// regains it as blocks keep growing.
+		rank := map[string]int{"doubling": 0, "hyper-systolic": 1, "pairwise": 2}
+		for i := 1; i < len(w); i++ {
+			if rank[w[i]] < rank[w[i-1]] {
+				t.Errorf("%s: winner curve not monotone: %v", m, w)
+				break
+			}
+		}
+	}
+}

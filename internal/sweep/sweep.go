@@ -43,7 +43,7 @@ const HardMaxCells = 1 << 16
 // typo'd spec fails loudly instead of silently sweeping nothing.
 type Spec struct {
 	// Kind selects the query type the grid expands to: "eval"
-	// (default), "price" or "plan".
+	// (default), "price", "plan" or "collective".
 	Kind string `json:"kind,omitempty"`
 
 	// Machines is the machine-profile axis (all kinds).
@@ -79,6 +79,17 @@ type Spec struct {
 	Dsts       []string `json:"dsts,omitempty"`
 	Transposes []int    `json:"transposes,omitempty"`
 
+	// Collective axes (kind "collective"). Collectives names the
+	// operations ("all-to-all", "broadcast", "shift", "reduce");
+	// Strategies the planner strategies ("pairwise", "doubling",
+	// "hyper-systolic") — empty Strategies compares all strategies per
+	// cell, so the row carries the winner. NodeCounts bounds the
+	// participants (0 = the whole machine or level domain); Words (the
+	// block size) and Levels are shared with the other kinds.
+	Collectives []string `json:"collectives,omitempty"`
+	Strategies  []string `json:"strategies,omitempty"`
+	NodeCounts  []int    `json:"node_counts,omitempty"`
+
 	// MaxCells overrides DefaultMaxCells, up to HardMaxCells. Grids
 	// larger than the cap are rejected, never truncated.
 	MaxCells int `json:"max_cells,omitempty"`
@@ -90,14 +101,15 @@ func badf(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: sweep: %s", query.ErrBadRequest, fmt.Sprintf(format, args...))
 }
 
-// Cell is one expanded grid point: exactly one of Eval, Price or Plan
-// is set, already canonicalized (defaults applied), so its fingerprint
-// matches the equivalent point query's.
+// Cell is one expanded grid point: exactly one of Eval, Price, Plan
+// or Collective is set, already canonicalized (defaults applied), so
+// its fingerprint matches the equivalent point query's.
 type Cell struct {
-	Index int                 `json:"-"`
-	Eval  *query.EvalRequest  `json:"eval,omitempty"`
-	Price *query.PriceRequest `json:"price,omitempty"`
-	Plan  *query.PlanRequest  `json:"plan,omitempty"`
+	Index      int                      `json:"-"`
+	Eval       *query.EvalRequest       `json:"eval,omitempty"`
+	Price      *query.PriceRequest      `json:"price,omitempty"`
+	Plan       *query.PlanRequest       `json:"plan,omitempty"`
+	Collective *query.CollectiveRequest `json:"collective,omitempty"`
 }
 
 // Fingerprint is the cell's canonical cache key — identical to the
@@ -111,6 +123,8 @@ func (c Cell) Fingerprint() string {
 		return c.Price.Fingerprint()
 	case c.Plan != nil:
 		return c.Plan.Fingerprint()
+	case c.Collective != nil:
+		return c.Collective.Fingerprint()
 	}
 	return "sweep|empty"
 }
@@ -169,6 +183,19 @@ func (c Cell) ExecBatch(b *query.Batch) (interface{}, bool, error) {
 			return nil, false, err
 		}
 		return r, false, nil
+	case c.Collective != nil:
+		if b != nil {
+			r, analytic, err := b.Collective(*c.Collective)
+			if err != nil {
+				return nil, false, err
+			}
+			return r, analytic, nil
+		}
+		r, err := query.Collective(*c.Collective)
+		if err != nil {
+			return nil, false, err
+		}
+		return r, false, nil
 	}
 	return nil, false, badf("empty cell")
 }
@@ -188,13 +215,15 @@ type Row struct {
 	Analytic bool   `json:"analytic,omitempty"`
 	Err      string `json:"error,omitempty"`
 
-	EvalReq  *query.EvalRequest  `json:"eval_request,omitempty"`
-	PriceReq *query.PriceRequest `json:"price_request,omitempty"`
-	PlanReq  *query.PlanRequest  `json:"plan_request,omitempty"`
+	EvalReq       *query.EvalRequest       `json:"eval_request,omitempty"`
+	PriceReq      *query.PriceRequest      `json:"price_request,omitempty"`
+	PlanReq       *query.PlanRequest       `json:"plan_request,omitempty"`
+	CollectiveReq *query.CollectiveRequest `json:"collective_request,omitempty"`
 
-	Eval  *query.EvalResponse  `json:"eval,omitempty"`
-	Price *query.PriceResponse `json:"price,omitempty"`
-	Plan  *query.PlanResponse  `json:"plan,omitempty"`
+	Eval       *query.EvalResponse       `json:"eval,omitempty"`
+	Price      *query.PriceResponse      `json:"price,omitempty"`
+	Plan       *query.PlanResponse       `json:"plan,omitempty"`
+	Collective *query.CollectiveResponse `json:"collective,omitempty"`
 }
 
 // Stats summarizes an executed sweep: how many rows were emitted, how
@@ -297,6 +326,8 @@ func Expand(s Spec) ([]Cell, error) {
 			"styles": len(s.Styles), "words": len(s.Words),
 			"ns": len(s.Ns), "ps": len(s.Ps), "srcs": len(s.Srcs),
 			"dsts": len(s.Dsts), "transposes": len(s.Transposes),
+			"collectives": len(s.Collectives), "strategies": len(s.Strategies),
+			"node_counts": len(s.NodeCounts),
 		}); err != nil {
 			return nil, err
 		}
@@ -330,6 +361,8 @@ func Expand(s Spec) ([]Cell, error) {
 			"rates": len(s.Rates), "exprs": len(s.Exprs), "levels": len(s.Levels),
 			"ns": len(s.Ns), "ps": len(s.Ps), "srcs": len(s.Srcs),
 			"dsts": len(s.Dsts), "transposes": len(s.Transposes),
+			"collectives": len(s.Collectives), "strategies": len(s.Strategies),
+			"node_counts": len(s.NodeCounts),
 		}); err != nil {
 			return nil, err
 		}
@@ -366,7 +399,9 @@ func Expand(s Spec) ([]Cell, error) {
 			"rates": len(s.Rates), "exprs": len(s.Exprs), "ops": len(s.Ops),
 			"xs": len(s.Xs), "ys": len(s.Ys), "styles": len(s.Styles),
 			"words": len(s.Words), "congestions": len(s.Congestions),
-			"levels": len(s.Levels),
+			"levels":      len(s.Levels),
+			"collectives": len(s.Collectives), "strategies": len(s.Strategies),
+			"node_counts": len(s.NodeCounts),
 		}); err != nil {
 			return nil, err
 		}
@@ -401,8 +436,41 @@ func Expand(s Spec) ([]Cell, error) {
 			}
 		}
 
+	case "collective":
+		if err := rejectAxes("collective", map[string]int{
+			"rates": len(s.Rates), "exprs": len(s.Exprs), "ops": len(s.Ops),
+			"xs": len(s.Xs), "ys": len(s.Ys), "styles": len(s.Styles),
+			"congestions": len(s.Congestions),
+			"ns":          len(s.Ns), "ps": len(s.Ps), "srcs": len(s.Srcs),
+			"dsts": len(s.Dsts), "transposes": len(s.Transposes),
+		}); err != nil {
+			return nil, err
+		}
+		if len(s.Collectives) == 0 {
+			return nil, badf(`kind "collective" needs at least one collective (all-to-all, broadcast, shift, reduce)`)
+		}
+		for _, m := range orDefault(s.Machines) {
+			for _, coll := range s.Collectives {
+				for _, strat := range orDefault(s.Strategies) {
+					for _, level := range orDefault(s.Levels) {
+						for _, nodes := range orDefaultInts(s.NodeCounts) {
+							for _, words := range orDefaultInts(s.Words) {
+								r := query.CollectiveRequest{
+									Machine: m, Collective: coll, Strategy: strat,
+									Nodes: nodes, Words: words, Level: level,
+								}.Canon()
+								if err := add(Cell{Collective: &r}); err != nil {
+									return nil, err
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+
 	default:
-		return nil, badf("unknown kind %q (want eval, price or plan)", s.Kind)
+		return nil, badf("unknown kind %q (want eval, price, plan or collective)", s.Kind)
 	}
 
 	if len(cells) == 0 {
@@ -444,8 +512,11 @@ func PrepareCells(cells []Cell, limit int) error {
 		if cells[i].Plan != nil {
 			set++
 		}
+		if cells[i].Collective != nil {
+			set++
+		}
 		if set != 1 {
-			return badf("cell %d must carry exactly one of eval, price or plan", i)
+			return badf("cell %d must carry exactly one of eval, price, plan or collective", i)
 		}
 		cells[i].Index = i
 	}
@@ -542,7 +613,7 @@ func DirectRunner() Runner {
 // buildRow folds one executed cell into its row.
 func buildRow(c Cell, val interface{}, cached, analytic bool, err error) Row {
 	row := Row{Index: c.Index, Cached: cached, Analytic: analytic,
-		EvalReq: c.Eval, PriceReq: c.Price, PlanReq: c.Plan}
+		EvalReq: c.Eval, PriceReq: c.Price, PlanReq: c.Plan, CollectiveReq: c.Collective}
 	if err != nil {
 		row.Err = err.Error()
 		row.Cached, row.Analytic = false, false
@@ -555,6 +626,8 @@ func buildRow(c Cell, val interface{}, cached, analytic bool, err error) Row {
 		row.Price = &v
 	case query.PlanResponse:
 		row.Plan = &v
+	case query.CollectiveResponse:
+		row.Collective = &v
 	default:
 		row.Err = fmt.Sprintf("sweep: unexpected result type %T", val)
 	}

@@ -62,6 +62,37 @@ func Table(s Spec, rows []Row, st Stats) *table.Table {
 			}
 			t.AddRow(p.Machine, what, packed, chained, p.Recommendation, "")
 		}
+	case "collective":
+		t.Header = []string{"machine", "collective", "strategy", "level", "nodes", "words", "phases", "makespan us", "winner", "note"}
+		for _, r := range rows {
+			req := r.CollectiveReq
+			if req == nil {
+				continue
+			}
+			strat := req.Strategy
+			if strat == "" {
+				strat = "compare"
+			}
+			level := req.Level
+			if level == "" {
+				level = "-"
+			}
+			if r.Err != "" {
+				t.AddRow(req.Machine, req.Collective, strat, level,
+					strconv.Itoa(req.Nodes), strconv.Itoa(req.Words), "-", "-", "-", r.Err)
+				continue
+			}
+			c := r.Collective
+			phases, makespan := "-", "-"
+			for _, rep := range c.Strategies {
+				if rep.Strategy == c.Winner && rep.Err == "" {
+					phases = strconv.Itoa(rep.Phases)
+					makespan = table.F(rep.MakespanUs)
+				}
+			}
+			t.AddRow(c.Machine, c.Collective, strat, level,
+				strconv.Itoa(c.Nodes), strconv.Itoa(c.Words), phases, makespan, c.Winner, "")
+		}
 	default: // eval
 		t.Header = []string{"machine", "rates", "cong", "query", "MB/s", "chained MB/s", "note"}
 		for _, r := range rows {

@@ -20,6 +20,11 @@
 # off a cliff, not 10% mux noise. ALLOW_BENCH_REGRESSION downgrades it
 # the same way it downgrades the sweep gate.
 #
+# The collective-planner trajectory (BENCH_collective.json,
+# BenchmarkCollectivePlan) is enforced the same way as the serve
+# check: best-of-N at -benchtime 100x, ns/op must stay within 2x the
+# latest recorded baseline.
+#
 # Environment: GO (default "go"), ALLOW_BENCH_REGRESSION (default 0),
 # BENCH_GATE_RUNS (best-of runs, default 3, tempering scheduler noise).
 set -eu
@@ -93,11 +98,50 @@ else
 	serve_fail=1
 fi
 
+# Collective-planner check (enforced), same shape as the serve check.
+COLL_FILE="BENCH_collective.json"
+coll_fail=0
+coll_base="$(grep '"name":"BenchmarkCollectivePlan"' "$COLL_FILE" 2>/dev/null | tail -1 \
+	| sed -n 's/.*"ns_per_op":\([0-9.eE+]*\).*/\1/p')"
+if [ -z "$coll_base" ]; then
+	echo "bench_gate: no BenchmarkCollectivePlan baseline in $COLL_FILE" >&2
+	echo "bench_gate: record one with 'make bench-record' and commit it" >&2
+	exit 1
+fi
+coll_best=""
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+	i=$((i + 1))
+	cout="$("$GO" test -bench 'BenchmarkCollectivePlan$' -benchtime 100x -run '^$' ./internal/collective/)"
+	coll_cur="$(printf '%s\n' "$cout" | awk '$1 ~ /^BenchmarkCollectivePlan/ {
+		for (i = 1; i < NF; i++) if ($(i + 1) == "ns/op") print $i }')"
+	if [ -z "$coll_cur" ]; then
+		echo "bench_gate: BenchmarkCollectivePlan reported no ns/op:" >&2
+		printf '%s\n' "$cout" >&2
+		exit 1
+	fi
+	echo "collective run $i/$RUNS: $coll_cur ns/op"
+	if [ -z "$coll_best" ]; then
+		coll_best="$coll_cur"
+	else
+		coll_best="$(awk -v a="$coll_best" -v b="$coll_cur" 'BEGIN { print (b < a) ? b : a }')"
+	fi
+done
+coll_ok="$(awk -v cur="$coll_best" -v base="$coll_base" 'BEGIN { print (cur <= 2.0 * base) ? 1 : 0 }')"
+if [ "$coll_ok" = "1" ]; then
+	echo "bench_gate: collective check ok (best $coll_best ns/op vs baseline $coll_base, threshold 200%)"
+elif [ "${ALLOW_BENCH_REGRESSION:-0}" = "1" ]; then
+	echo "bench_gate: collective REGRESSION >2x but ALLOW_BENCH_REGRESSION=1; passing with a warning" >&2
+else
+	echo "bench_gate: FAIL pending — BenchmarkCollectivePlan best $coll_best ns/op is >2x baseline $coll_base" >&2
+	coll_fail=1
+fi
+
 echo "bench_gate: best $best rows/sec, baseline $baseline rows/sec (threshold: 75% of baseline)"
 ok="$(awk -v cur="$best" -v base="$baseline" 'BEGIN { print (cur >= 0.75 * base) ? 1 : 0 }')"
 if [ "$ok" = "1" ]; then
-	if [ "$serve_fail" = "1" ]; then
-		echo "bench_gate: FAIL — serve-stack check failed (see above)." >&2
+	if [ "$serve_fail" = "1" ] || [ "$coll_fail" = "1" ]; then
+		echo "bench_gate: FAIL — a per-subsystem check failed (see above)." >&2
 		echo "bench_gate: if intentional, apply the 'bench-regression-ok' PR label and re-record" >&2
 		echo "bench_gate: the baseline with 'make bench-record' in the same PR." >&2
 		exit 1

@@ -1,10 +1,10 @@
 #!/bin/sh
 # bench_record.sh — record the benchmark trajectory.
 #
-# Runs the sweep, memsim hot-path, serve-stack, and calibration-fit
-# benchmarks and normalizes the `go test -bench` output into
-# BENCH_sweep.json, BENCH_hotpath.json, BENCH_serve.json and
-# BENCH_fit.json:
+# Runs the sweep, memsim hot-path, serve-stack, calibration-fit, and
+# collective-planner benchmarks and normalizes the `go test -bench`
+# output into BENCH_sweep.json, BENCH_hotpath.json, BENCH_serve.json,
+# BENCH_fit.json and BENCH_collective.json:
 # one JSON object per benchmark per recording, carrying name, ns/op,
 # rows/sec (where the benchmark reports it), B/op, allocs/op, the
 # current commit and the UTC date. Entries APPEND — the files are the
@@ -93,3 +93,7 @@ echo "== serve-stack benchmarks (handler + router gateway) =="
 echo "== calibration-fit benchmark (hierarchical least-squares fit) =="
 "$GO" test -bench 'BenchmarkFit$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/calibrate/ \
 	| tee /dev/stderr | record "$BENCH_DIR/BENCH_fit.json"
+
+echo "== collective planner benchmark (plan + validate, all ops x strategies) =="
+"$GO" test -bench 'BenchmarkCollectivePlan$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/collective/ \
+	| tee /dev/stderr | record "$BENCH_DIR/BENCH_collective.json"
