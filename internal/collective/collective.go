@@ -28,8 +28,10 @@ package collective
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ctcomm/internal/aapc"
+	"ctcomm/internal/machine"
 )
 
 // ErrBadSpec marks malformed collective specifications (unknown
@@ -125,6 +127,13 @@ type Plan struct {
 	// any node needs beyond its own payload, in blocks — the storage
 	// side of the hyper-systolic storage/communication trade-off.
 	ReplicaBlocks int64
+
+	// congMu guards cong, the per-machine phase-congestion cache
+	// (phaseCongestion): congestion is words-invariant, so one
+	// computation per (plan, machine) serves every block size the
+	// plan is evaluated at.
+	congMu sync.Mutex
+	cong   map[*machine.Machine][]float64
 }
 
 // New plans op with strategy st over nodes participants. offset is

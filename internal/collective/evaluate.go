@@ -28,7 +28,9 @@ type Eval struct {
 	ReplicaBytes  int64
 	// MakespanNs is the end-to-end completion time: phases run back
 	// to back, separated by the machine's best barrier plus library
-	// call overhead.
+	// call overhead. An n-phase plan pays exactly n-1 separators —
+	// nothing runs after the last phase, so nothing is synchronized
+	// after it either.
 	MakespanNs float64
 	// AnalyticPhases counts phases answered by the closed-form stream
 	// law; EnginePhases counts phases that ran the event engine. The
@@ -42,7 +44,10 @@ type Eval struct {
 // words. Phases are separated by the machine's cheapest barrier
 // (syncsim.Best) plus its library-call overhead, so strategies with
 // fewer phases amortize synchronization — the source of the
-// crossover between phase-light and volume-light schedules.
+// crossover between phase-light and volume-light schedules. An
+// n-phase plan pays exactly n-1 separators: the overhead is charged
+// between phases, never after the final one (pinned by
+// TestMakespanCountsSeparators).
 //
 // Resource-disjoint phases (congestion factor 1: no two flows share a
 // link or port) are answered analytically with SendStream's closed
@@ -70,12 +75,13 @@ func (p *Plan) Evaluate(m *machine.Machine, words int, engine bool) (Eval, error
 		ReplicaBlocks: p.ReplicaBlocks,
 		ReplicaBytes:  p.ReplicaBlocks * bytesPerBlock,
 	}
+	congs := p.phaseCongestion(m)
 	var t sim.Time
 	for pi := range p.Schedule.Phases {
 		flows := p.Schedule.PhaseFlows(pi, bytesPerBlock)
 		ev.Messages += int64(len(flows))
 		ev.VolumeBlocks += int64(len(flows)) * p.Schedule.BlocksAt(pi)
-		cong := netsim.CongestionOf(m.Topo, flows, m.Net.NodesPerPort)
+		cong := congs[pi]
 		if cong > ev.MaxCongestion {
 			ev.MaxCongestion = cong
 		}
@@ -95,8 +101,38 @@ func (p *Plan) Evaluate(m *machine.Machine, words int, engine bool) (Eval, error
 			_, end = net.Batch(t, flows, netsim.DataOnly)
 			ev.EnginePhases++
 		}
-		t = end + overhead
+		t = end
+		if pi < len(p.Schedule.Phases)-1 {
+			// A separator only runs between phases: the collective is
+			// done when its last flow lands, so an n-phase plan pays
+			// n-1 barrier+library overheads, not n.
+			t += overhead
+		}
 	}
 	ev.MakespanNs = float64(t)
 	return ev, nil
+}
+
+// phaseCongestion returns the plan's per-phase congestion factors on
+// m's topology, computed once per (plan, machine) and cached on the
+// plan: CongestionOf counts flows per link, injection and ejection
+// port and never looks at flow sizes, so the factors are
+// words-invariant — the words-law probes and every word count of a
+// sweep share one computation. Safe for concurrent evaluators.
+func (p *Plan) phaseCongestion(m *machine.Machine) []float64 {
+	p.congMu.Lock()
+	defer p.congMu.Unlock()
+	if c, ok := p.cong[m]; ok {
+		return c
+	}
+	c := make([]float64, len(p.Schedule.Phases))
+	for pi := range p.Schedule.Phases {
+		// Probe flows at one byte per block: congestion is size-blind.
+		c[pi] = netsim.CongestionOf(m.Topo, p.Schedule.PhaseFlows(pi, 1), m.Net.NodesPerPort)
+	}
+	if p.cong == nil {
+		p.cong = map[*machine.Machine][]float64{}
+	}
+	p.cong[m] = c
+	return c
 }

@@ -1,0 +1,337 @@
+package collective
+
+import (
+	"sync"
+
+	"ctcomm/internal/aapc"
+	"ctcomm/internal/machine"
+	"ctcomm/internal/netsim"
+	"ctcomm/internal/pattern"
+	"ctcomm/internal/sim"
+)
+
+// Affine words laws.
+//
+// A plan's phase structure, congestion factors and barrier count are
+// all words-invariant: changing the block size only scales the bytes
+// of every flow, by exactly 8*Blocks bytes per word. Whenever every
+// phase's stream/engine time is affine in those bytes, the whole
+// makespan is affine in the word count — and along a residue class of
+// the plan's structural period it provably is for the congestion-free
+// closed form: a period P is chosen so that P words advance every
+// phase's payload by a whole number of packets AND its wire bytes by a
+// whole number of chunks, so the chunk count steps uniformly and the
+// last-chunk size stays constant, shifting SendStream's flow-shop end
+// time by an exact integer delta per period. Congested phases run the
+// event engine, whose per-period delta is not proven constant — so,
+// exactly like the PR 6 price laws, a law is only admitted after
+// bitwise verification: fit on two probes, verify on three more
+// (including one far beyond the fit region), and fall back to the
+// engine for any family that fails. The engine remains the authority
+// on every input; a law changes cost, never answers.
+//
+// Makespans are integer sim.Time nanoseconds, so the fit is integer
+// arithmetic end to end: Makespan(c*P + r) = t1 + (c-lawWordsC1)*(t2-t1),
+// reproduced bit for bit (MakespanNs is float64(t) on both paths).
+
+const (
+	// lawWordsC1 and lawWordsC2 are the period counts of the two fit
+	// probes. The network simulator has no warm-up (each phase starts
+	// with every resource idle), so the fit can start at one period.
+	lawWordsC1 = 1
+	lawWordsC2 = 2
+	// lawWordsC3 and lawWordsC4 are bitwise verification probes just
+	// past the fit region; lawWordsC5 is the far probe — four fit
+	// spans out, where an accidental two-point fit of a non-affine
+	// curve (e.g. mesh-contended engine phases) drifts and is
+	// rejected.
+	lawWordsC3 = 3
+	lawWordsC4 = 4
+	lawWordsC5 = 8
+	// lawWordsMaxPeriod caps the structural period a law will probe:
+	// the five probes cost 18 periods of evaluation, which must stay
+	// comparable to the big cells the law replaces.
+	lawWordsMaxPeriod = 4096
+	// lawWordsMaxWords bounds the word counts a law answers, keeping
+	// the integer extrapolation far from int64/float64 exactness
+	// limits. Sweeps ask for orders of magnitude less.
+	lawWordsMaxWords = 1 << 31
+)
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// wordsPeriod returns the structural words period of the schedule on
+// machine m: the smallest P such that for every phase, P words grow
+// the per-flow payload by a whole number of packets and the per-flow
+// wire bytes by a whole number of chunks. Along a residue class mod P
+// the chunk count of every flow steps uniformly and its last-chunk
+// size is constant — the precondition for an affine makespan. Returns
+// 0 when the period exceeds lawWordsMaxPeriod (no law; probing would
+// cost more than it saves). Pure arithmetic; nothing is simulated.
+func wordsPeriod(m *machine.Machine, s *aapc.Schedule) int64 {
+	pp := int64(m.Net.PacketPayloadBytes)
+	chunk := int64(m.Net.ChunkBytes)
+	if pp <= 0 || chunk <= 0 {
+		return 0
+	}
+	period := int64(1)
+	seen := map[int64]bool{}
+	for pi := range s.Phases {
+		b := s.BlocksAt(pi)
+		if b <= 0 || seen[b] {
+			continue
+		}
+		seen[b] = true
+		// One word grows each flow of this phase by 8*b payload bytes;
+		// p1 words align that growth to whole packets, making the wire
+		// growth w1 exact (WireBytes is affine between packet
+		// boundaries), and the chunk multiplier aligns w1 to whole
+		// chunks.
+		step := b * pattern.WordBytes
+		p1 := pp / gcd64(step, pp)
+		w1 := m.Net.WireBytes(netsim.DataOnly, step*p1)
+		pb := p1 * (chunk / gcd64(w1, chunk))
+		period = period / gcd64(period, pb) * pb
+		if period > lawWordsMaxPeriod {
+			return 0
+		}
+	}
+	return period
+}
+
+// wordsLaw is a fitted, bitwise-verified affine words law for one
+// (plan, machine, engine-flag) family and one residue class: for
+// words = c*period + residue with c >= lawWordsC1, the makespan is
+// t1 + (c-lawWordsC1)*(t2-t1) and every other Eval field is either
+// words-invariant (copied from the verified probes) or exactly affine
+// (ReplicaBytes).
+type wordsLaw struct {
+	period  int64
+	residue int64
+	base    Eval     // words-invariant fields, identical across all probes
+	t1, t2  sim.Time // integer makespans at lawWordsC1 and lawWordsC2 periods
+}
+
+// sameShape reports whether two evals agree on every words-invariant
+// field. A mismatch across probes means the family is not the fixed
+// phase-class the law assumes, and no law is admitted.
+func sameShape(a, b Eval) bool {
+	return a.Phases == b.Phases &&
+		a.Messages == b.Messages &&
+		a.VolumeBlocks == b.VolumeBlocks &&
+		a.MaxCongestion == b.MaxCongestion &&
+		a.ReplicaBlocks == b.ReplicaBlocks &&
+		a.AnalyticPhases == b.AnalyticPhases &&
+		a.EnginePhases == b.EnginePhases
+}
+
+// fitWordsLaw probes the plan at five word counts in the residue
+// class, fits the affine law on the first two and admits it only if
+// the remaining three — including the far probe — reproduce the
+// evaluator bit for bit. Any probe error, shape drift, or makespan
+// mismatch yields nil and the caller falls back to Plan.Evaluate.
+func fitWordsLaw(p *Plan, m *machine.Machine, engine bool, period, residue int64) *wordsLaw {
+	run := func(c int64) (Eval, sim.Time, bool) {
+		ev, err := p.Evaluate(m, int(c*period+residue), engine)
+		if err != nil {
+			return Eval{}, 0, false
+		}
+		// Makespans are integer nanoseconds reported as float64; the
+		// law extrapolates the integers, so they must round-trip.
+		t := sim.Time(ev.MakespanNs)
+		if float64(t) != ev.MakespanNs {
+			return Eval{}, 0, false
+		}
+		return ev, t, true
+	}
+	e1, t1, ok1 := run(lawWordsC1)
+	e2, t2, ok2 := run(lawWordsC2)
+	if !ok1 || !ok2 || !sameShape(e1, e2) {
+		return nil
+	}
+	l := &wordsLaw{period: period, residue: residue, base: e1, t1: t1, t2: t2}
+	for _, c := range []int64{lawWordsC3, lawWordsC4, lawWordsC5} {
+		ev, t, ok := run(c)
+		if !ok || !sameShape(e1, ev) || l.predict(c) != t {
+			return nil
+		}
+	}
+	return l
+}
+
+// predict extrapolates the fitted integer makespan to c periods.
+func (l *wordsLaw) predict(c int64) sim.Time {
+	return l.t1 + sim.Time(c-lawWordsC1)*(l.t2-l.t1)
+}
+
+// covers reports whether the law may answer for words: same residue
+// class, at or past the first fit probe, and below the extrapolation
+// bound.
+func (l *wordsLaw) covers(words int64) bool {
+	return words >= lawWordsC1*l.period+l.residue &&
+		words <= lawWordsMaxWords &&
+		words%l.period == l.residue
+}
+
+// eval reconstructs the full Eval for words: invariant fields from the
+// verified probes, ReplicaBytes by its exact affine definition, and
+// the makespan by integer extrapolation. The caller must have checked
+// covers.
+func (l *wordsLaw) eval(words int64) Eval {
+	ev := l.base
+	ev.ReplicaBytes = ev.ReplicaBlocks * words * pattern.WordBytes
+	ev.MakespanNs = float64(l.predict(words / l.period))
+	return ev
+}
+
+// Session is the batch-evaluation context for collective sweeps: it
+// memoizes plans (so the per-machine congestion cache on each plan is
+// shared across cells and workers), memoizes evaluations, and fits
+// affine words laws per (plan, machine, engine-flag, residue) family
+// so a words axis is answered by O(1) integer extrapolation instead
+// of per-cell simulation. Every law is bitwise-verified against the
+// evaluator at fit time (fitWordsLaw), so a Session changes cost,
+// never answers — the differential sweep tests pin this byte for
+// byte, rendered text included.
+//
+// A Session is safe for concurrent use; cells of one sweep evaluate
+// on many workers at once. Machines are keyed by pointer: resolve
+// each machine once per batch (query.Batch does) and pass the same
+// pointer for every cell.
+type Session struct {
+	mu    sync.Mutex
+	plans map[planKey]*planEntry
+	laws  map[sessLawKey]*sessLawEntry
+	memo  map[sessMemoKey]*sessMemoEntry
+}
+
+// NewSession returns an empty batch context.
+func NewSession() *Session {
+	return &Session{
+		plans: map[planKey]*planEntry{},
+		laws:  map[sessLawKey]*sessLawEntry{},
+		memo:  map[sessMemoKey]*sessMemoEntry{},
+	}
+}
+
+type planKey struct {
+	op     Op
+	st     Strategy
+	nodes  int
+	offset int
+}
+
+type sessLawKey struct {
+	pk      planKey
+	m       *machine.Machine
+	engine  bool
+	residue int64
+}
+
+type sessMemoKey struct {
+	pk     planKey
+	m      *machine.Machine
+	engine bool
+	words  int
+}
+
+// planEntry, sessLawEntry and sessMemoEntry are once-guarded so
+// concurrent cells needing the same plan, fit or evaluation compute
+// it exactly once, without holding the session lock across a
+// simulation.
+type planEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+type sessLawEntry struct {
+	once sync.Once
+	law  *wordsLaw // nil: family not law-eligible, use the evaluator
+}
+
+type sessMemoEntry struct {
+	once     sync.Once
+	ev       Eval
+	analytic bool
+	err      error
+}
+
+// Evaluate plans op/st over nodes participants (planning once per
+// session) and times it on m with blocks of words 64-bit words — by a
+// fitted words law when one covers words, by Plan.Evaluate otherwise.
+// The bool reports the law path; provenance only: by the admission
+// contract the Eval is bit-identical either way.
+func (s *Session) Evaluate(m *machine.Machine, op Op, st Strategy, nodes, offset, words int, engine bool) (Eval, bool, error) {
+	pk := planKey{op: op, st: st, nodes: nodes, offset: offset}
+	k := sessMemoKey{pk: pk, m: m, engine: engine, words: words}
+	s.mu.Lock()
+	e, ok := s.memo[k]
+	if !ok {
+		e = &sessMemoEntry{}
+		s.memo[k] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.ev, e.analytic, e.err = s.compute(pk, m, engine, words) })
+	return e.ev, e.analytic, e.err
+}
+
+// compute answers one evaluation: by law when the family admits one
+// that covers this word count, by the evaluator otherwise.
+func (s *Session) compute(pk planKey, m *machine.Machine, engine bool, words int) (Eval, bool, error) {
+	plan, err := s.plan(pk)
+	if err != nil {
+		return Eval{}, false, err
+	}
+	if words > 0 && int64(words) <= lawWordsMaxWords {
+		if period := wordsPeriod(m, plan.Schedule); period > 0 {
+			residue := int64(words) % period
+			if int64(words) >= lawWordsC1*period+residue {
+				// Only coverable word counts trigger a fit: small
+				// blocks below the first probe are cheaper to just
+				// evaluate. Coverage is a pure function of the cell,
+				// so the analytic provenance flag is deterministic.
+				if law := s.law(pk, plan, m, engine, period, residue); law != nil && law.covers(int64(words)) {
+					return law.eval(int64(words)), true, nil
+				}
+			}
+		}
+	}
+	ev, err := plan.Evaluate(m, words, engine)
+	return ev, false, err
+}
+
+// plan returns the memoized plan for the key, planning it on first
+// need. Planning errors are memoized too: they keep the exact
+// collective.New text every frontend reports.
+func (s *Session) plan(pk planKey) (*Plan, error) {
+	s.mu.Lock()
+	e, ok := s.plans[pk]
+	if !ok {
+		e = &planEntry{}
+		s.plans[pk] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.plan, e.err = New(pk.op, pk.st, pk.nodes, pk.offset) })
+	return e.plan, e.err
+}
+
+// law returns the fitted words law for the family and residue class,
+// fitting it on first need. nil means the family did not certify.
+func (s *Session) law(pk planKey, plan *Plan, m *machine.Machine, engine bool, period, residue int64) *wordsLaw {
+	k := sessLawKey{pk: pk, m: m, engine: engine, residue: residue}
+	s.mu.Lock()
+	e, ok := s.laws[k]
+	if !ok {
+		e = &sessLawEntry{}
+		s.laws[k] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.law = fitWordsLaw(plan, m, engine, period, residue) })
+	return e.law
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ctcomm/internal/calibrate"
+	"ctcomm/internal/collective"
 	"ctcomm/internal/comm"
 	"ctcomm/internal/machine"
 	"ctcomm/internal/model"
@@ -22,7 +23,10 @@ import (
 // comm.Session, which memoizes basic-transfer stages across styles,
 // congestion levels and duplex settings and answers the element-count
 // axis by bitwise-verified analytic word-count laws instead of
-// re-running the engine.
+// re-running the engine. Collective queries run through one
+// collective.Session the same way: plans and their congestion factors
+// resolve once, and the words axis is answered by bitwise-verified
+// affine makespan laws instead of re-simulating every phase.
 //
 // The contract: a Batch changes cost, never answers. Every response —
 // including its rendered Text — is byte-identical to the batchless
@@ -38,6 +42,7 @@ type Batch struct {
 	byProfile map[string]*machine.Machine
 	tables    map[tableKey]*model.RateTable
 	session   *comm.Session
+	coll      *collective.Session
 }
 
 type tableKey struct {
@@ -53,6 +58,7 @@ func NewBatch() *Batch {
 		byProfile: map[string]*machine.Machine{},
 		tables:    map[tableKey]*model.RateTable{},
 		session:   comm.NewSession(),
+		coll:      collective.NewSession(),
 	}
 }
 

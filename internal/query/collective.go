@@ -129,10 +129,13 @@ func Collective(r CollectiveRequest) (CollectiveResponse, error) {
 	return resp, err
 }
 
-// Collective answers r through the batch's shared machine state. The
-// bool reports whether every phase of every strategy was answered by
-// the closed-form stream law — provenance only: by the evaluator's
-// bit-identity contract the response is identical either way.
+// Collective answers r through the batch's collective session: plans
+// and congestion factors resolve once per batch, and words axes are
+// answered by fitted affine makespan laws. The bool reports whether
+// every evaluated strategy was answered from such a law — provenance
+// only: laws are bitwise-verified against the evaluator at fit time
+// (collective.Session), so the response, rendered Text included, is
+// identical either way.
 func (b *Batch) Collective(r CollectiveRequest) (CollectiveResponse, bool, error) {
 	return collectiveQ(r, b)
 }
@@ -210,10 +213,24 @@ func collectiveQ(r CollectiveRequest, b *Batch) (CollectiveResponse, bool, error
 	analytic := true
 	for _, st := range strategies {
 		rep := StrategyReport{Strategy: string(st)}
-		plan, perr := collective.New(op, st, nodes, r.Offset)
-		var ev collective.Eval
-		if perr == nil {
-			ev, perr = plan.Evaluate(m, r.Words, r.Engine)
+		var (
+			ev      collective.Eval
+			fromLaw bool
+			perr    error
+		)
+		if b != nil && r.M == nil {
+			// Batched: the session memoizes the plan (and its
+			// words-invariant congestion factors) and answers
+			// law-covered word counts by integer extrapolation.
+			// r.M bypasses it — a CLI-loaded machine file has no
+			// stable pointer identity to key the session on.
+			ev, fromLaw, perr = b.coll.Evaluate(m, op, st, nodes, r.Offset, r.Words, r.Engine)
+		} else {
+			var plan *collective.Plan
+			plan, perr = collective.New(op, st, nodes, r.Offset)
+			if perr == nil {
+				ev, perr = plan.Evaluate(m, r.Words, r.Engine)
+			}
 		}
 		if perr != nil {
 			if !comparing {
@@ -234,7 +251,11 @@ func collectiveQ(r CollectiveRequest, b *Batch) (CollectiveResponse, bool, error
 		rep.MakespanUs = float64(ev.MakespanNs) / 1e3
 		rep.AnalyticPhases = ev.AnalyticPhases
 		rep.EnginePhases = ev.EnginePhases
-		if ev.EnginePhases > 0 {
+		if !fromLaw {
+			// The analytic row flag means "answered from a fitted
+			// words law, no per-cell simulation" — the same meaning
+			// the price laws give it. A failed strategy in a
+			// comparison does not veto it: nothing was evaluated.
 			analytic = false
 		}
 		resp.Strategies = append(resp.Strategies, rep)

@@ -121,6 +121,111 @@ func TestCollectiveBatchBitIdentical(t *testing.T) {
 	}
 }
 
+// TestCollectiveBatchWordsLaw pins the words-law provenance at the
+// query layer: a law-covered word count answers analytically through a
+// batch — byte-identical to the point query, rendered Text included —
+// while a word count below the coverage threshold falls back to the
+// evaluator and reports non-analytic.
+func TestCollectiveBatchWordsLaw(t *testing.T) {
+	b := NewBatch()
+	cases := []struct {
+		req      CollectiveRequest
+		analytic bool
+	}{
+		// t3d pairwise structural period is 512 words: 2048 is covered,
+		// 2085 is covered on the off-period residue-37 law, 100 is below
+		// the one-period coverage floor.
+		{CollectiveRequest{Collective: "all-to-all", Nodes: 16, Words: 2048}, true},
+		{CollectiveRequest{Collective: "all-to-all", Nodes: 16, Words: 2085}, true},
+		{CollectiveRequest{Collective: "all-to-all", Nodes: 16, Words: 100}, false},
+		{CollectiveRequest{Machine: "xe6", Collective: "shift", Strategy: "pairwise",
+			Offset: 3, Nodes: 16, Words: 1024, Level: "inter-node"}, true},
+	}
+	for _, c := range cases {
+		point, err := Collective(c.req)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.req, err)
+		}
+		batched, analytic, err := b.Collective(c.req)
+		if err != nil {
+			t.Fatalf("batch %+v: %v", c.req, err)
+		}
+		pj, err := json.Marshal(point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pj) != string(bj) {
+			t.Errorf("%+v: batch differs from point query:\npoint %s\nbatch %s", c.req, pj, bj)
+		}
+		if analytic != c.analytic {
+			t.Errorf("%+v: analytic = %t, want %t", c.req, analytic, c.analytic)
+		}
+	}
+}
+
+// FuzzCollectiveWordsLaw fuzzes the law bit-identity contract cell by
+// cell: any collective request the grammar admits must answer
+// identically — error text, or marshaled bytes with Text included —
+// through a batch (laws, memoized plans, cached congestion) and as a
+// point query. Run in the fuzz-smoke CI job.
+func FuzzCollectiveWordsLaw(f *testing.F) {
+	// Seeds cross the law boundaries: covered residue-0, covered
+	// off-residue, below coverage, engine-forced, level-restricted,
+	// error path (flat machine with a level).
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(3), uint16(2048), uint8(0), uint8(0), false)
+	f.Add(uint8(3), uint8(2), uint8(1), uint8(3), uint16(1061), uint8(3), uint8(3), false)
+	f.Add(uint8(1), uint8(0), uint8(2), uint8(2), uint16(100), uint8(0), uint8(0), true)
+	f.Add(uint8(2), uint8(3), uint8(3), uint8(1), uint16(4096), uint8(1), uint8(0), false)
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(0), uint16(512), uint8(2), uint8(0), false)
+	f.Fuzz(func(t *testing.T, mi, ci, si, ni uint8, words uint16, oi, li uint8, engine bool) {
+		machines := []string{"t3d", "paragon", "cluster", "xe6"}
+		colls := []string{"all-to-all", "broadcast", "shift", "reduce"}
+		strats := []string{"", "pairwise", "doubling", "hyper-systolic"}
+		nodeCounts := []int{2, 4, 8, 15, 16}
+		levels := []string{"", "intra-socket", "inter-socket", "inter-node"}
+		req := CollectiveRequest{
+			Machine:    machines[int(mi)%len(machines)],
+			Collective: colls[int(ci)%len(colls)],
+			Strategy:   strats[int(si)%len(strats)],
+			Nodes:      nodeCounts[int(ni)%len(nodeCounts)],
+			// Cap the axis so the engine reference stays cheap while
+			// still crossing every structural period (the largest, the
+			// cluster's, is 2048 words).
+			Words:  int(words%4096) + 1,
+			Offset: int(oi) % 8,
+			Level:  levels[int(li)%len(levels)],
+			Engine: engine,
+		}.Canon()
+
+		ref, refErr := Collective(req)
+		got, _, gotErr := NewBatch().Collective(req)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%+v: err mismatch: point %v, batch %v", req, refErr, gotErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != gotErr.Error() {
+				t.Fatalf("%+v: error text differs: %q vs %q", req, refErr, gotErr)
+			}
+			return
+		}
+		rj, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rj) != string(gj) {
+			t.Fatalf("%+v:\npoint %s\nbatch %s", req, rj, gj)
+		}
+	})
+}
+
 // TestCollectiveFingerprintCanonical: aliases and explicit defaults
 // share one cache key; distinct requests get distinct keys.
 func TestCollectiveFingerprintCanonical(t *testing.T) {

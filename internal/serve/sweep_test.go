@@ -511,3 +511,34 @@ func TestSweepAnalyticAccounting(t *testing.T) {
 		t.Errorf("repeat summary = %+v, want 4 cached / 0 analytic", sum2)
 	}
 }
+
+// TestSweepCollectiveAnalyticAccounting extends the provenance plumbing
+// to collective cells: word counts at or past one structural period
+// (t3d pairwise: 512 words) answer from the per-strategy words laws and
+// surface as analytic rows in the NDJSON flags, the summary and the
+// /metrics counter — through the same generic plumbing the price laws
+// use, with no collective-specific serve code.
+func TestSweepCollectiveAnalyticAccounting(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"kind":"collective","machines":["t3d"],"collectives":["shift"],"strategies":["pairwise"],"node_counts":[16],"words":[1024,2048]}`
+	w := post(s, "/v1/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("code = %d, body %s", w.Code, w.Body)
+	}
+	rows, sum := parseNDJSON(t, w.Body.String())
+	if sum.Cells != 2 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Analytic != 2 {
+		t.Errorf("summary analytic = %d, want 2 (both cells law-covered)", sum.Analytic)
+	}
+	for _, r := range rows {
+		if !r.Analytic {
+			t.Errorf("row %d not marked analytic: %+v", r.Index, r)
+		}
+	}
+	m := get(s, "/metrics").Body.String()
+	if !strings.Contains(m, "ctserved_sweep_cells_analytic_total 2") {
+		t.Errorf("metrics missing analytic counter:\n%s", m)
+	}
+}

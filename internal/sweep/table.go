@@ -11,7 +11,10 @@ import (
 // rendering `ctmodel -sweep` prints (text, CSV or markdown — one
 // result path, the same renderer the experiment harness uses). Columns
 // depend on the sweep kind; the note column carries per-cell errors so
-// a partially failed sweep still renders every row.
+// a partially failed sweep still renders every row — including rows
+// whose request pointer is missing entirely, which render as error
+// rows so the table's row count always matches the cell count in the
+// title.
 func Table(s Spec, rows []Row, st Stats) *table.Table {
 	t := &table.Table{
 		Title: fmt.Sprintf("sweep %s: %d cells (%d cached, %d analytic, %d failed)",
@@ -23,6 +26,7 @@ func Table(s Spec, rows []Row, st Stats) *table.Table {
 		for _, r := range rows {
 			req := r.PriceReq
 			if req == nil {
+				t.AddRow("-", "-", "-", "-", "-", "-", "-", noRequest(r))
 				continue
 			}
 			op := req.X + "Q" + req.Y
@@ -40,6 +44,7 @@ func Table(s Spec, rows []Row, st Stats) *table.Table {
 		for _, r := range rows {
 			req := r.PlanReq
 			if req == nil {
+				t.AddRow("-", "-", "-", "-", "-", noRequest(r))
 				continue
 			}
 			what := fmt.Sprintf("%s->%s n=%d p=%d", req.Src, req.Dst, req.N, req.P)
@@ -67,6 +72,7 @@ func Table(s Spec, rows []Row, st Stats) *table.Table {
 		for _, r := range rows {
 			req := r.CollectiveReq
 			if req == nil {
+				t.AddRow("-", "-", "-", "-", "-", "-", "-", "-", "-", noRequest(r))
 				continue
 			}
 			strat := req.Strategy
@@ -98,6 +104,7 @@ func Table(s Spec, rows []Row, st Stats) *table.Table {
 		for _, r := range rows {
 			req := r.EvalReq
 			if req == nil {
+				t.AddRow("-", "-", "-", "-", "-", "-", noRequest(r))
 				continue
 			}
 			q := req.Expr
@@ -125,6 +132,17 @@ func Table(s Spec, rows []Row, st Stats) *table.Table {
 		}
 	}
 	return t
+}
+
+// noRequest is the note for a row that carries no request echo at all
+// (a malformed row from a remote peer, or a bug upstream): the row's
+// own error if it has one, else an explicit marker. Rendering it keeps
+// the table honest — every cell counted in the title appears as a row.
+func noRequest(r Row) string {
+	if r.Err != "" {
+		return r.Err
+	}
+	return "malformed row: missing request"
 }
 
 // fmtCong renders a congestion axis value; 0 means "machine default".

@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderTable renders the table for the spec kind over the rows.
+func renderTable(t *testing.T, kind string, rows []Row, st Stats) string {
+	t.Helper()
+	spec := Spec{Kind: kind}
+	tab := Table(spec, rows, st)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestTableNilRequestRows pins the malformed-row fix: a row whose
+// request pointer is missing must still render — as an error row —
+// so the rendered row count matches the cell count in the title
+// instead of silently contradicting it.
+func TestTableNilRequestRows(t *testing.T) {
+	for _, kind := range []string{"eval", "price", "plan", "collective"} {
+		rows := []Row{
+			{Index: 0, Err: "peer returned garbage"}, // error, no request echo
+			{Index: 1},                               // no error, no request either
+		}
+		out := renderTable(t, kind, rows, Stats{Cells: 2, Failed: 1})
+		if !strings.Contains(out, "2 cells") {
+			t.Fatalf("%s: title missing cell count:\n%s", kind, out)
+		}
+		if !strings.Contains(out, "peer returned garbage") {
+			t.Errorf("%s: error row with nil request not rendered:\n%s", kind, out)
+		}
+		if !strings.Contains(out, "malformed row: missing request") {
+			t.Errorf("%s: empty row with nil request not rendered:\n%s", kind, out)
+		}
+	}
+}

@@ -25,6 +25,15 @@
 # check: best-of-N at -benchtime 100x, ns/op must stay within 2x the
 # latest recorded baseline.
 #
+# The collective words-law sweep (BENCH_collective.json,
+# BenchmarkCollectiveSweep) is enforced like the price sweep:
+# best-of-N at -benchtime 1x, rows/sec must stay at or above 75% of
+# the latest recorded baseline — this is the gate that keeps words-axis
+# collective sweeps sub-linear (laws engaged), since falling back to
+# per-cell evaluation drops throughput by two orders of magnitude. Its
+# engine reference (BenchmarkCollectiveSweepEngine) is recorded for the
+# trajectory but not gated.
+#
 # Environment: GO (default "go"), ALLOW_BENCH_REGRESSION (default 0),
 # BENCH_GATE_RUNS (best-of runs, default 3, tempering scheduler noise).
 set -eu
@@ -137,10 +146,46 @@ else
 	coll_fail=1
 fi
 
+# Collective words-law sweep check (enforced): rows/sec against the
+# latest BenchmarkCollectiveSweep baseline, 75% threshold like the
+# price sweep.
+csweep_fail=0
+csweep_base="$(grep '"name":"BenchmarkCollectiveSweep"' "$COLL_FILE" 2>/dev/null | tail -1 \
+	| sed -n 's/.*"rows_per_sec":\([0-9.eE+]*\).*/\1/p')"
+if [ -z "$csweep_base" ]; then
+	echo "bench_gate: no BenchmarkCollectiveSweep rows_per_sec baseline in $COLL_FILE" >&2
+	echo "bench_gate: record one with 'make bench-record' and commit it" >&2
+	exit 1
+fi
+csweep_best=0
+i=0
+while [ "$i" -lt "$RUNS" ]; do
+	i=$((i + 1))
+	wout="$("$GO" test -bench 'BenchmarkCollectiveSweep$' -benchtime 1x -run '^$' ./internal/sweep/)"
+	csweep_cur="$(printf '%s\n' "$wout" | awk '$1 ~ /^BenchmarkCollectiveSweep/ {
+		for (i = 1; i < NF; i++) if ($(i + 1) == "rows/sec") print $i }')"
+	if [ -z "$csweep_cur" ]; then
+		echo "bench_gate: BenchmarkCollectiveSweep reported no rows/sec:" >&2
+		printf '%s\n' "$wout" >&2
+		exit 1
+	fi
+	echo "collective sweep run $i/$RUNS: $csweep_cur rows/sec"
+	csweep_best="$(awk -v a="$csweep_best" -v b="$csweep_cur" 'BEGIN { print (b > a) ? b : a }')"
+done
+csweep_ok="$(awk -v cur="$csweep_best" -v base="$csweep_base" 'BEGIN { print (cur >= 0.75 * base) ? 1 : 0 }')"
+if [ "$csweep_ok" = "1" ]; then
+	echo "bench_gate: collective sweep check ok (best $csweep_best rows/sec vs baseline $csweep_base, threshold 75%)"
+elif [ "${ALLOW_BENCH_REGRESSION:-0}" = "1" ]; then
+	echo "bench_gate: collective sweep REGRESSION >25% but ALLOW_BENCH_REGRESSION=1; passing with a warning" >&2
+else
+	echo "bench_gate: FAIL pending — BenchmarkCollectiveSweep best $csweep_best rows/sec is <75% of baseline $csweep_base" >&2
+	csweep_fail=1
+fi
+
 echo "bench_gate: best $best rows/sec, baseline $baseline rows/sec (threshold: 75% of baseline)"
 ok="$(awk -v cur="$best" -v base="$baseline" 'BEGIN { print (cur >= 0.75 * base) ? 1 : 0 }')"
 if [ "$ok" = "1" ]; then
-	if [ "$serve_fail" = "1" ] || [ "$coll_fail" = "1" ]; then
+	if [ "$serve_fail" = "1" ] || [ "$coll_fail" = "1" ] || [ "$csweep_fail" = "1" ]; then
 		echo "bench_gate: FAIL — a per-subsystem check failed (see above)." >&2
 		echo "bench_gate: if intentional, apply the 'bench-regression-ok' PR label and re-record" >&2
 		echo "bench_gate: the baseline with 'make bench-record' in the same PR." >&2

@@ -94,6 +94,8 @@ echo "== calibration-fit benchmark (hierarchical least-squares fit) =="
 "$GO" test -bench 'BenchmarkFit$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/calibrate/ \
 	| tee /dev/stderr | record "$BENCH_DIR/BENCH_fit.json"
 
-echo "== collective planner benchmark (plan + validate, all ops x strategies) =="
-"$GO" test -bench 'BenchmarkCollectivePlan$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/collective/ \
-	| tee /dev/stderr | record "$BENCH_DIR/BENCH_collective.json"
+echo "== collective benchmarks (planner + words-law sweep vs engine-per-cell) =="
+{
+	"$GO" test -bench 'BenchmarkCollectivePlan$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/collective/
+	"$GO" test -bench 'BenchmarkCollectiveSweep$|BenchmarkCollectiveSweepEngine$' -benchtime "$BENCHTIME" -benchmem -run '^$' ./internal/sweep/
+} | tee /dev/stderr | record "$BENCH_DIR/BENCH_collective.json"
